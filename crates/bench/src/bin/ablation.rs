@@ -1,0 +1,53 @@
+//! Ablation study of the design choices DESIGN.md calls out:
+//!
+//! 1. quantizer scale policy — ACIQ-clipped observers (default) vs raw
+//!    min/max observers vs LSQ learnable scales, at INT4 and INT8;
+//! 2. bi-level search warm-up — α frozen for half the search vs no warm-up.
+
+use mixq_bench::{bits, pct, run_mixq, run_quantized, Args, NodeExp, Table};
+use mixq_core::{gcn_schema, BitAssignment, QuantKind};
+use mixq_graph::cora_like;
+use mixq_nn::NodeBundle;
+
+fn main() {
+    let args = Args::parse();
+    let ds = cora_like(42);
+    let bundle = NodeBundle::new(&ds);
+    let mut exp = NodeExp::gcn(64, args.runs_or(4));
+    if args.quick {
+        exp.train.epochs = 60;
+    }
+
+    let mut t = Table::new(
+        "Ablation 1 — quantizer scale policy (2-layer GCN, Cora-like)",
+        &["Bits", "Scale policy", "Accuracy"],
+    );
+    for b in [4u8, 8] {
+        let a = BitAssignment::uniform(gcn_schema(2), b);
+        let aciq = run_quantized(&ds, &bundle, &exp, &a, QuantKind::Native);
+        t.row(&[format!("INT{b}"), "ACIQ-clipped observer".into(), pct(aciq.mean, aciq.std)]);
+        let lsq = run_quantized(&ds, &bundle, &exp, &a, QuantKind::Lsq);
+        t.row(&[format!("INT{b}"), "LSQ learnable scale".into(), pct(lsq.mean, lsq.std)]);
+        let dq_raw = run_quantized(
+            &ds,
+            &bundle,
+            &exp,
+            &a,
+            QuantKind::Dq { p_min: 0.0, p_max: 0.0 }, // percentile range, no protection
+        );
+        t.row(&[format!("INT{b}"), "percentile min/max".into(), pct(dq_raw.mean, dq_raw.std)]);
+    }
+    t.print();
+
+    let mut t2 = Table::new(
+        "Ablation 2 — search warm-up (MixQ λ=0.1, bits {2,4,8})",
+        &["Warm-up", "Accuracy", "Avg bits"],
+    );
+    for (name, warmup_frac) in [("half (default)", 0.5f32), ("none", 0.0)] {
+        let mut e = exp.clone();
+        e.search.warmup = (e.search.epochs as f32 * warmup_frac) as usize;
+        let c = run_mixq(&ds, &bundle, &e, &[2, 4, 8], 0.1, QuantKind::Native);
+        t2.row(&[name.into(), pct(c.mean, c.std), bits(c.avg_bits)]);
+    }
+    t2.print();
+}

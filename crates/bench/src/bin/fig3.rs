@@ -1,0 +1,42 @@
+//! Figure 3: per-component bit-width histograms along the Pareto front of
+//! the Figure 2 sweep — showing that the optimal assignments follow no
+//! simple pattern.
+
+use mixq_bench::{gcn_bit_sweep, pareto_front, Args, Table};
+use mixq_core::gcn_schema;
+use mixq_graph::cora_like;
+use mixq_nn::NodeBundle;
+
+fn main() {
+    let args = Args::parse();
+    let ds = cora_like(42);
+    let bundle = NodeBundle::new(&ds);
+    let samples = if args.quick { 24 } else { 120 };
+    let runs = args.runs_or(2);
+    let epochs = if args.quick { 50 } else { 100 };
+    eprintln!("[fig3] sweeping {samples} combinations × {runs} runs ...");
+    let points = gcn_bit_sweep(&ds, &bundle, &[2, 4, 8], samples, runs, epochs);
+    let front = pareto_front(&points);
+    println!("\nPareto front ({} of {} candidates):", front.len(), points.len());
+    for &i in &front {
+        println!(
+            "  bits={:?} avg={:.2} acc={:.3}",
+            points[i].bits, points[i].avg_bits, points[i].acc
+        );
+    }
+    let schema = gcn_schema(2);
+    let mut t = Table::new(
+        "Figure 3 — bit-width histogram per component over the Pareto front",
+        &["Component", "#2-bit", "#4-bit", "#8-bit"],
+    );
+    for (c, name) in schema.iter().enumerate() {
+        let count = |b: u8| front.iter().filter(|&&i| points[i].bits[c] == b).count();
+        t.row(&[
+            name.clone(),
+            format!("{}", count(2)),
+            format!("{}", count(4)),
+            format!("{}", count(8)),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,33 @@
+//! Figure 9: effect of λ on the average bit-width and accuracy of MixQ
+//! (2-layer GCN, Cora-like).
+
+use mixq_bench::{run_mixq, Args, NodeExp, Table};
+use mixq_core::QuantKind;
+use mixq_graph::cora_like;
+use mixq_nn::NodeBundle;
+
+fn main() {
+    let args = Args::parse();
+    let ds = cora_like(42);
+    let bundle = NodeBundle::new(&ds);
+    let mut t = Table::new(
+        "Figure 9 — λ sweep (2-layer GCN, bits {2,4,8})",
+        &["λ", "Avg bits", "Accuracy"],
+    );
+    for lambda in [-0.1f32, -0.05, -0.01, 0.0, 0.01, 0.05, 0.1, 0.3, 1.0] {
+        eprintln!("[fig9] λ={lambda} ...");
+        let mut exp = NodeExp::gcn(64, args.runs_or(3));
+        if args.quick {
+            exp.train.epochs = 60;
+            exp.search.epochs = 30;
+            exp.search.warmup = 15;
+        }
+        let c = run_mixq(&ds, &bundle, &exp, &[2, 4, 8], lambda, QuantKind::Native);
+        t.row(&[
+            format!("{lambda}"),
+            format!("{:.2}", c.avg_bits),
+            format!("{:.1}±{:.1}%", c.mean * 100.0, c.std * 100.0),
+        ]);
+    }
+    t.print();
+}

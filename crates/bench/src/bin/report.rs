@@ -1,0 +1,65 @@
+//! Stitches the experiment outputs in `results/*.txt` into EXPERIMENTS.md:
+//! each `<!-- NAME -->` placeholder is replaced by a fenced code block with
+//! the corresponding `results/name.txt` (progress lines stripped).
+//! Re-runnable: regenerated blocks are re-replaced in place.
+
+use std::fs;
+
+fn block_for(name: &str) -> Option<String> {
+    let path = format!("results/{}.txt", name.to_lowercase());
+    let raw = fs::read_to_string(&path).ok()?;
+    let body: String = raw
+        .lines()
+        .filter(|l| {
+            !l.starts_with('[')
+                && !l.contains("Compiling")
+                && !l.contains("Finished")
+                && !l.contains("Running `")
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    let trimmed = body.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    Some(format!("```text\n{trimmed}\n```"))
+}
+
+fn main() {
+    let md = fs::read_to_string("EXPERIMENTS.md").expect("run from the repository root");
+    let mut out = String::with_capacity(md.len());
+    let mut replaced = 0;
+    let mut missing = Vec::new();
+    let mut in_generated = false;
+    for line in md.lines() {
+        // Drop previously generated blocks (between begin/end markers).
+        if line.starts_with("<!-- generated:") {
+            in_generated = true;
+            continue;
+        }
+        if in_generated {
+            if line == "<!-- end generated -->" {
+                in_generated = false;
+            }
+            continue;
+        }
+        out.push_str(line);
+        out.push('\n');
+        if let Some(name) = line.strip_prefix("<!-- ").and_then(|l| l.strip_suffix(" -->")) {
+            if name == "HEADLINE" {
+                continue; // written by hand in EXPERIMENTS.md
+            }
+            match block_for(name) {
+                Some(block) => {
+                    out.push_str(&format!("<!-- generated: {name} -->\n"));
+                    out.push_str(&block);
+                    out.push_str("\n<!-- end generated -->\n");
+                    replaced += 1;
+                }
+                None => missing.push(name.to_string()),
+            }
+        }
+    }
+    fs::write("EXPERIMENTS.md", out).expect("write EXPERIMENTS.md");
+    println!("filled {replaced} sections; missing results for: {missing:?}");
+}

@@ -1,0 +1,43 @@
+//! Table 10 (ablation): random per-component bit-width choices vs MixQ.
+
+use mixq_bench::{bits, gbops, pct, run_mixq, run_random, Args, NodeExp, Table};
+use mixq_core::QuantKind;
+use mixq_graph::{citeseer_like, cora_like, pubmed_like};
+use mixq_nn::NodeBundle;
+
+fn main() {
+    let args = Args::parse();
+    let mut t = Table::new(
+        "Table 10 — random bit-width choices vs MixQ (λ=1), 2-layer GCN",
+        &["Dataset", "Method", "Accuracy", "Bits", "GBitOPs"],
+    );
+    for (name, ds) in [
+        ("Cora", cora_like(42)),
+        ("CiteSeer", citeseer_like(42)),
+        ("PubMed", pubmed_like(42)),
+    ] {
+        eprintln!("[table10] {name} ...");
+        let bundle = NodeBundle::new(&ds);
+        let mut exp = NodeExp::gcn(64, args.runs_or(8));
+        if args.quick {
+            exp.train.epochs = 60;
+            exp.search.epochs = 30;
+            exp.search.warmup = 15;
+        }
+        let mut row = |method: &str, c: &mixq_bench::CellResult| {
+            t.row(&[
+                name.into(),
+                method.into(),
+                pct(c.mean, c.std),
+                bits(c.avg_bits),
+                gbops(c.gbitops),
+            ]);
+        };
+        row("Random", &run_random(&ds, &bundle, &exp, &[2, 4, 8], false));
+        row("Random + INT8", &run_random(&ds, &bundle, &exp, &[2, 4, 8], true));
+        let mut mexp = exp.clone();
+        mexp.runs = args.runs_or(5);
+        row("MixQ (λ=1)", &run_mixq(&ds, &bundle, &mexp, &[2, 4, 8], 1.0, QuantKind::Native));
+    }
+    t.print();
+}

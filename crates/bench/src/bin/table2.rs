@@ -1,0 +1,50 @@
+//! Table 2: dataset characteristics of the (synthetic) evaluation suite.
+
+use mixq_bench::Table;
+use mixq_graph::*;
+
+fn main() {
+    let mut t = Table::new(
+        "Table 2 — dataset characteristics (seeded synthetic mirrors; see DESIGN.md)",
+        &["Dataset", "|G|", "avg |V|", "avg |E|", "|X|", "|Y|"],
+    );
+    let node = |name: &str, ds: &NodeDataset| {
+        vec![
+            name.to_string(),
+            "1".into(),
+            format!("{}", ds.num_nodes()),
+            format!("{}", ds.num_edges()),
+            format!("{}", ds.feat_dim()),
+            format!("{}", ds.num_classes()),
+        ]
+    };
+    for (n, ds) in [
+        ("citeseer-like", citeseer_like(1)),
+        ("cora-like", cora_like(1)),
+        ("pubmed-like", pubmed_like(1)),
+        ("arxiv-like", arxiv_like(1)),
+        ("igb-like", igb_like(1)),
+        ("ogb-proteins-like", proteins_ogb_like(1)),
+        ("products-like", products_like(1)),
+        ("reddit-like", reddit_like(1)),
+    ] {
+        t.row(&node(n, &ds));
+    }
+    let graph = |ds: &GraphDataset| {
+        vec![
+            ds.name.clone(),
+            format!("{}", ds.len()),
+            format!("{:.1}", ds.avg_nodes()),
+            format!("{:.1}", ds.avg_edges()),
+            format!("{}", ds.feat_dim()),
+            format!("{}", ds.num_classes),
+        ]
+    };
+    t.row(&graph(&csl_dataset(1, 15, 20)));
+    t.row(&graph(&imdb_b_like(1, 300)));
+    t.row(&graph(&proteins_like(1, 300)));
+    t.row(&graph(&dd_like(1, 150)));
+    t.row(&graph(&reddit_b_like(1, 200)));
+    t.row(&graph(&reddit_m_like(1, 250)));
+    t.print();
+}

@@ -1,0 +1,37 @@
+//! Table 4: native quantizer vs the DQ quantizer under MixQ-selected
+//! bit-widths (2-layer GCN, Cora).
+
+use mixq_bench::{bits, gbops, pct, run_mixq, Args, NodeExp, Table};
+use mixq_core::QuantKind;
+use mixq_graph::cora_like;
+use mixq_nn::NodeBundle;
+
+fn main() {
+    let args = Args::parse();
+    let ds = cora_like(42);
+    let bundle = NodeBundle::new(&ds);
+    let mut exp = NodeExp::gcn(64, args.runs_or(5));
+    if args.quick {
+        exp.train.epochs = 60;
+        exp.search.epochs = 30;
+        exp.search.warmup = 15;
+    }
+    let dq = QuantKind::Dq { p_min: 0.0, p_max: 0.2 };
+    let mut t = Table::new(
+        "Table 4 — MixQ vs MixQ+DQ on Cora (2-layer GCN, bits {2,4,8})",
+        &["Method", "Accuracy", "Bits", "GBitOPs"],
+    );
+    for (lname, lambda) in [("-1e-8", -1e-8f32), ("0.1", 0.1), ("1", 1.0)] {
+        eprintln!("[table4] λ={lname} ...");
+        for (mname, kind) in [("MixQ", QuantKind::Native), ("MixQ + DQ", dq)] {
+            let c = run_mixq(&ds, &bundle, &exp, &[2, 4, 8], lambda, kind);
+            t.row(&[
+                format!("{mname} (λ={lname})"),
+                pct(c.mean, c.std),
+                bits(c.avg_bits),
+                gbops(c.gbitops),
+            ]);
+        }
+    }
+    t.print();
+}

@@ -1,0 +1,35 @@
+//! Table 5: A²Q vs MixQ+DQ — both leverage graph structure for quantizing
+//! aggregated values.
+
+use mixq_bench::{gbops, pct, run_a2q, run_mixq, Args, NodeExp, Table};
+use mixq_core::QuantKind;
+use mixq_graph::{citeseer_like, cora_like, pubmed_like};
+use mixq_nn::NodeBundle;
+
+fn main() {
+    let args = Args::parse();
+    let dq = QuantKind::Dq { p_min: 0.0, p_max: 0.2 };
+    let mut t = Table::new(
+        "Table 5 — A²Q vs MixQ+DQ (2-layer GCN)",
+        &["Dataset", "Method", "Accuracy", "GBitOPs"],
+    );
+    for (name, ds) in [
+        ("Cora", cora_like(42)),
+        ("CiteSeer", citeseer_like(42)),
+        ("PubMed", pubmed_like(42)),
+    ] {
+        eprintln!("[table5] {name} ...");
+        let bundle = NodeBundle::new(&ds);
+        let mut exp = NodeExp::gcn(64, args.runs_or(5));
+        if args.quick {
+            exp.train.epochs = 60;
+            exp.search.epochs = 30;
+            exp.search.warmup = 15;
+        }
+        let a2q = run_a2q(&ds, &bundle, &exp, (2, 4, 8));
+        t.row(&[name.into(), "A2Q".into(), pct(a2q.mean, a2q.std), gbops(a2q.gbitops)]);
+        let mq = run_mixq(&ds, &bundle, &exp, &[2, 4, 8], 0.1, dq);
+        t.row(&[name.into(), "MixQ + DQ".into(), pct(mq.mean, mq.std), gbops(mq.gbitops)]);
+    }
+    t.print();
+}

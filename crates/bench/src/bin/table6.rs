@@ -1,0 +1,43 @@
+//! Table 6: node classification with GraphSAGE — FP32 vs MixQ(0.1/1).
+//! Mean-aggregator sampling keeps in-degrees low, so MixQ works well even
+//! without structure-aware quantizers (§5.3.2).
+
+use mixq_bench::{bits, gbops, pct, run_fp32, run_mixq, Args, NodeExp, Table};
+use mixq_core::QuantKind;
+use mixq_graph::{citeseer_like, cora_like, pubmed_like};
+use mixq_nn::NodeBundle;
+
+fn main() {
+    let args = Args::parse();
+    let mut t = Table::new(
+        "Table 6 — node classification, 2-layer GraphSAGE (hidden 64)",
+        &["Dataset", "Method", "Accuracy", "Bits", "GBitOPs"],
+    );
+    for (name, ds) in [
+        ("Cora", cora_like(42)),
+        ("CiteSeer", citeseer_like(42)),
+        ("PubMed", pubmed_like(42)),
+    ] {
+        eprintln!("[table6] {name} ...");
+        let bundle = NodeBundle::new(&ds);
+        let mut exp = NodeExp::sage(64, args.runs_or(5));
+        if args.quick {
+            exp.train.epochs = 60;
+            exp.search.epochs = 30;
+            exp.search.warmup = 15;
+        }
+        let mut row = |method: &str, c: &mixq_bench::CellResult| {
+            t.row(&[
+                name.into(),
+                method.into(),
+                pct(c.mean, c.std),
+                bits(c.avg_bits),
+                gbops(c.gbitops),
+            ]);
+        };
+        row("FP32", &run_fp32(&ds, &bundle, &exp));
+        row("MixQ (λ=0.1)", &run_mixq(&ds, &bundle, &exp, &[2, 4, 8], 0.1, QuantKind::Native));
+        row("MixQ (λ=1)", &run_mixq(&ds, &bundle, &exp, &[2, 4, 8], 1.0, QuantKind::Native));
+    }
+    t.print();
+}

@@ -1,0 +1,44 @@
+//! Table 7: large-scale node classification with GraphSAGE + MixQ.
+//! OGB-Proteins is multi-label and reports ROC-AUC; the rest accuracy.
+
+use mixq_bench::{bits, frac, gbops, pct, run_fp32, run_mixq, Args, NodeExp, Table};
+use mixq_core::QuantKind;
+use mixq_graph::{igb_like, products_like, proteins_ogb_like, reddit_like, NodeTargets};
+use mixq_nn::NodeBundle;
+
+fn main() {
+    let args = Args::parse();
+    let mut t = Table::new(
+        "Table 7 — large-scale GraphSAGE (hidden 32)",
+        &["Dataset", "λ / precision", "Acc / ROC-AUC", "Bits", "GBitOPs"],
+    );
+    for (name, ds) in [
+        ("Reddit", reddit_like(42)),
+        ("OGB-Proteins", proteins_ogb_like(42)),
+        ("OGB-Products", products_like(42)),
+        ("IGB", igb_like(42)),
+    ] {
+        eprintln!("[table7] {name} ...");
+        let is_auc = matches!(ds.targets, NodeTargets::MultiLabel(_));
+        let bundle = NodeBundle::new(&ds);
+        let mut exp = NodeExp::sage(32, args.runs_or(3));
+        exp.train.epochs = if args.quick { 40 } else { 80 };
+        exp.train.patience = 25;
+        exp.search.epochs = if args.quick { 20 } else { 40 };
+        exp.search.warmup = exp.search.epochs / 2;
+        let fmt = |c: &mixq_bench::CellResult| {
+            if is_auc {
+                frac(c.mean, c.std)
+            } else {
+                pct(c.mean, c.std)
+            }
+        };
+        let c = run_fp32(&ds, &bundle, &exp);
+        t.row(&[name.into(), "FP32".into(), fmt(&c), bits(c.avg_bits), gbops(c.gbitops)]);
+        for (lname, lambda) in [("-1e-8", -1e-8f32), ("0.1", 0.1), ("1", 1.0)] {
+            let c = run_mixq(&ds, &bundle, &exp, &[2, 4, 8], lambda, QuantKind::Native);
+            t.row(&[name.into(), lname.into(), fmt(&c), bits(c.avg_bits), gbops(c.gbitops)]);
+        }
+    }
+    t.print();
+}

@@ -1,0 +1,60 @@
+//! Table 9: CSL synthetic dataset — 4-layer GCN with Laplacian positional
+//! encodings. Reliable accuracy needs ≈ log2(41) ≈ 5.36 bits of feature
+//! precision, so INT4 is marginal and INT2 fails.
+
+use mixq_bench::{bits as fbits, pct, run_graph_cv, Args, GraphExp, GraphMethod, Table};
+use mixq_core::{gcn_graph_schema, BitAssignment, QuantKind};
+use mixq_graph::csl_dataset;
+
+fn main() {
+    let args = Args::parse();
+    let ds = csl_dataset(42, 15, 20);
+    let folds = 5;
+    let repeats = args.runs_or(4);
+    let mut t = Table::new(
+        "Table 9 — CSL, 4-layer GCN + LapPE(20), 5-fold CV",
+        &["Method", "Bits", "Mean ± Std", "Min", "Max"],
+    );
+    let schema = gcn_graph_schema(4);
+    let methods: Vec<(&str, GraphMethod)> = vec![
+        ("FP32", GraphMethod::Fp32),
+        (
+            "QAT - INT2",
+            GraphMethod::Fixed(BitAssignment::uniform(schema.clone(), 2), QuantKind::Native),
+        ),
+        (
+            "QAT - INT4",
+            GraphMethod::Fixed(BitAssignment::uniform(schema.clone(), 4), QuantKind::Native),
+        ),
+        ("MixQ (λ=-1e-3)", GraphMethod::MixQ { choices: vec![2, 4, 8], lambda: -1e-3 }),
+        ("MixQ (λ=0)", GraphMethod::MixQ { choices: vec![2, 4, 8], lambda: 0.0 }),
+    ];
+    for (name, method) in methods {
+        eprintln!("[table9] {name} ...");
+        let mut accs = Vec::new();
+        let mut bit_acc = 0.0;
+        for rep in 0..repeats {
+            let mut exp = GraphExp::gcn_csl(folds);
+            exp.train.seed = rep as u64 * 100;
+            if args.quick {
+                exp.train.epochs = 60;
+                exp.search.epochs = 30;
+                exp.search.warmup = 15;
+            }
+            let out = run_graph_cv(&ds, &exp, &method);
+            bit_acc += out.avg_bits;
+            accs.extend(out.accs);
+        }
+        let (mean, std) = mixq_nn::mean_std(&accs);
+        let min = accs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = accs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        t.row(&[
+            name.into(),
+            fbits(bit_acc / repeats as f64),
+            pct(mean, std),
+            format!("{:.1}", min * 100.0),
+            format!("{:.1}", max * 100.0),
+        ]);
+    }
+    t.print();
+}

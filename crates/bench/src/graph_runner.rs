@@ -1,0 +1,283 @@
+//! Cross-validated graph-classification runners (Tables 8 and 9).
+
+use mixq_core::{
+    gcn_graph_cost_model, gcn_graph_schema, gin_graph_cost_model, gin_graph_schema,
+    search_gcn_graph_bits, search_gin_graph_bits, BitAssignment, QGcnGraphNet, QGinGraphNet,
+    QuantKind, SearchConfig,
+};
+use mixq_graph::{stratified_kfold, GraphDataset};
+use mixq_nn::{
+    mean_std, train_graph, GcnGraphNet, GinGraphNet, GraphBundle, ParamSet, TrainConfig,
+};
+use mixq_tensor::Rng;
+
+use crate::runner::CellResult;
+
+/// The graph-level architecture family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GraphArch {
+    /// Five GIN layers + max pool + 2-linear head (Table 8).
+    Gin,
+    /// Four GCN layers + max pool + linear head (Table 9, CSL).
+    Gcn,
+}
+
+/// Configuration of one graph-classification experiment.
+#[derive(Debug, Clone)]
+pub struct GraphExp {
+    pub arch: GraphArch,
+    pub hidden: usize,
+    pub layers: usize,
+    pub folds: usize,
+    pub train: TrainConfig,
+    pub search: SearchConfig,
+}
+
+impl GraphExp {
+    pub fn gin_table8(folds: usize) -> Self {
+        Self {
+            arch: GraphArch::Gin,
+            hidden: 32,
+            layers: 5,
+            folds,
+            train: TrainConfig { epochs: 80, lr: 0.01, weight_decay: 1e-4, seed: 0, patience: 0 },
+            search: SearchConfig { epochs: 50, lr: 0.01, lambda: 0.1, seed: 0, warmup: 25 },
+        }
+    }
+
+    pub fn gcn_csl(folds: usize) -> Self {
+        Self {
+            arch: GraphArch::Gcn,
+            hidden: 32,
+            layers: 4,
+            folds,
+            train: TrainConfig { epochs: 120, lr: 0.01, weight_decay: 1e-4, seed: 0, patience: 0 },
+            search: SearchConfig { epochs: 60, lr: 0.01, lambda: 0.0, seed: 0, warmup: 30 },
+        }
+    }
+}
+
+/// What to run in each fold.
+pub enum GraphMethod {
+    Fp32,
+    Fixed(BitAssignment, QuantKind),
+    /// MixQ: per-fold relaxed search with this λ, then QAT.
+    MixQ { choices: Vec<u8>, lambda: f32 },
+    A2q { lo: u8, mid: u8, hi: u8 },
+}
+
+/// Per-fold accuracies plus averaged efficiency numbers.
+pub struct CvOutcome {
+    pub accs: Vec<f64>,
+    pub avg_bits: f64,
+    pub gbitops: f64,
+}
+
+impl CvOutcome {
+    pub fn cell(&self) -> CellResult {
+        let (mean, std) = mean_std(&self.accs);
+        CellResult { mean, std, avg_bits: self.avg_bits, gbitops: self.gbitops, assignment: None }
+    }
+
+    pub fn min(&self) -> f64 {
+        self.accs.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    pub fn max(&self) -> f64 {
+        self.accs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+fn dataset_totals(ds: &GraphDataset) -> (u64, u64, u64) {
+    let n: u64 = ds.graphs.iter().map(|g| g.num_nodes() as u64).sum();
+    let e: u64 = ds.graphs.iter().map(|g| g.num_edges() as u64).sum();
+    (n, e, ds.len() as u64)
+}
+
+fn schema(exp: &GraphExp) -> Vec<String> {
+    match exp.arch {
+        GraphArch::Gin => gin_graph_schema(exp.layers),
+        GraphArch::Gcn => gcn_graph_schema(exp.layers),
+    }
+}
+
+fn cost(exp: &GraphExp, ds: &GraphDataset, a: &BitAssignment) -> (f64, f64) {
+    let (n, e, g) = dataset_totals(ds);
+    // GCN-graph aggregation runs on Â (self-loops added).
+    let cm = match exp.arch {
+        GraphArch::Gin => gin_graph_cost_model(
+            a,
+            ds.feat_dim(),
+            exp.hidden,
+            ds.num_classes,
+            exp.layers,
+            n,
+            e,
+            g,
+        ),
+        GraphArch::Gcn => gcn_graph_cost_model(
+            a,
+            ds.feat_dim(),
+            exp.hidden,
+            ds.num_classes,
+            exp.layers,
+            n,
+            e + n,
+            g,
+        ),
+    };
+    (cm.avg_bits(), cm.gbit_ops())
+}
+
+/// Runs `method` under stratified k-fold cross validation.
+pub fn run_graph_cv(ds: &GraphDataset, exp: &GraphExp, method: &GraphMethod) -> CvOutcome {
+    let mut rng = Rng::seed_from_u64(exp.train.seed ^ 0xF01D);
+    let folds = stratified_kfold(&mut rng, &ds.labels, ds.num_classes, exp.folds);
+    let mut accs = Vec::with_capacity(exp.folds);
+    let mut bits_acc = 0.0;
+    let mut gb_acc = 0.0;
+    for (fold, (train_idx, test_idx)) in folds.iter().enumerate() {
+        let seed = exp.train.seed + fold as u64;
+        let train = GraphBundle::from_graphs(ds, train_idx);
+        let test = GraphBundle::from_graphs(ds, test_idx);
+        let (acc, bits, gb) = run_fold(ds, exp, method, &train, &test, seed);
+        accs.push(acc);
+        bits_acc += bits;
+        gb_acc += gb;
+    }
+    CvOutcome {
+        accs,
+        avg_bits: bits_acc / exp.folds as f64,
+        gbitops: gb_acc / exp.folds as f64,
+    }
+}
+
+fn run_fold(
+    ds: &GraphDataset,
+    exp: &GraphExp,
+    method: &GraphMethod,
+    train: &GraphBundle,
+    test: &GraphBundle,
+    seed: u64,
+) -> (f64, f64, f64) {
+    let cfg = TrainConfig { seed, ..exp.train.clone() };
+    match method {
+        GraphMethod::Fp32 => {
+            let a = BitAssignment::uniform(schema(exp), 32);
+            let (bits, gb) = cost(exp, ds, &a);
+            let mut ps = ParamSet::new();
+            let mut rng = Rng::seed_from_u64(seed ^ 0xF32);
+            let acc = match exp.arch {
+                GraphArch::Gin => {
+                    let mut net = GinGraphNet::new(
+                        &mut ps,
+                        ds.feat_dim(),
+                        exp.hidden,
+                        ds.num_classes,
+                        exp.layers,
+                        &mut rng,
+                    );
+                    train_graph(&mut net, &mut ps, train, test, &cfg).1
+                }
+                GraphArch::Gcn => {
+                    let mut net = GcnGraphNet::new(
+                        &mut ps,
+                        ds.feat_dim(),
+                        exp.hidden,
+                        ds.num_classes,
+                        exp.layers,
+                        &mut rng,
+                    );
+                    train_graph(&mut net, &mut ps, train, test, &cfg).1
+                }
+            };
+            (acc, bits, gb)
+        }
+        GraphMethod::Fixed(a, kind) => {
+            let (bits, gb) = cost(exp, ds, a);
+            let acc = train_fixed(ds, exp, a.clone(), *kind, train, test, &cfg);
+            (acc, bits, gb)
+        }
+        GraphMethod::MixQ { choices, lambda } => {
+            let scfg = SearchConfig { lambda: *lambda, seed, ..exp.search.clone() };
+            let a = match exp.arch {
+                GraphArch::Gin => search_gin_graph_bits(
+                    train,
+                    ds.feat_dim(),
+                    exp.hidden,
+                    ds.num_classes,
+                    exp.layers,
+                    choices,
+                    &scfg,
+                ),
+                GraphArch::Gcn => search_gcn_graph_bits(
+                    train,
+                    ds.feat_dim(),
+                    exp.hidden,
+                    ds.num_classes,
+                    exp.layers,
+                    choices,
+                    &scfg,
+                ),
+            };
+            let (bits, gb) = cost(exp, ds, &a);
+            let acc = train_fixed(ds, exp, a, QuantKind::Native, train, test, &cfg);
+            (acc, bits, gb)
+        }
+        GraphMethod::A2q { lo, mid, hi } => {
+            let a = BitAssignment::uniform(schema(exp), 8);
+            let (_, gb8) = cost(exp, ds, &a);
+            let kind = QuantKind::A2q { lo: *lo, mid: *mid, hi: *hi };
+            let acc = train_fixed(ds, exp, a, kind, train, test, &cfg);
+            // Avg bits from the degree-tier allocation over the train batch;
+            // BitOPs = INT8 compute + dynamic-precision marshalling (30 % of
+            // MACs at FP32, see the node runner's calibration note).
+            let q = mixq_core::A2qQuantizer::new(&train.degrees, *lo, *mid, *hi);
+            let marshalling = 0.3 * (gb8 / 8.0) * 32.0;
+            (acc, q.avg_bits(), gb8 + marshalling)
+        }
+    }
+}
+
+fn train_fixed(
+    ds: &GraphDataset,
+    exp: &GraphExp,
+    a: BitAssignment,
+    kind: QuantKind,
+    train: &GraphBundle,
+    test: &GraphBundle,
+    cfg: &TrainConfig,
+) -> f64 {
+    let mut ps = ParamSet::new();
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ 0x0A7);
+    match exp.arch {
+        GraphArch::Gin => {
+            let mut net = QGinGraphNet::new(
+                &mut ps,
+                ds.feat_dim(),
+                exp.hidden,
+                ds.num_classes,
+                exp.layers,
+                a,
+                kind,
+                &train.degrees,
+                &mut rng,
+            );
+            train_graph(&mut net, &mut ps, train, test, cfg).1
+        }
+        GraphArch::Gcn => {
+            let mut net = QGcnGraphNet::new(
+                &mut ps,
+                ds.feat_dim(),
+                exp.hidden,
+                ds.num_classes,
+                exp.layers,
+                a,
+                kind,
+                &train.degrees,
+                &mut rng,
+            );
+            train_graph(&mut net, &mut ps, train, test, cfg).1
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Experiment harness for the MixQ-GNN reproduction: shared runners, a
+//! table printer, and one binary per paper table/figure (see `src/bin/`).
+
+pub mod graph_runner;
+pub mod runner;
+pub mod sweep;
+pub mod table;
+
+pub use graph_runner::{run_graph_cv, CvOutcome, GraphArch, GraphExp, GraphMethod};
+pub use runner::{
+    run_a2q, run_fp32, run_mixq, run_quantized, run_random, CellResult, NodeArch, NodeExp,
+};
+pub use sweep::{gcn_bit_sweep, pareto_front, SweepPoint};
+pub use table::{bits, frac, gbops, pct, Table};
+
+/// Parses `--runs N` and `--quick` style flags shared by all binaries.
+pub struct Args {
+    pub runs: Option<usize>,
+    pub quick: bool,
+}
+
+impl Args {
+    pub fn parse() -> Self {
+        let argv: Vec<String> = std::env::args().collect();
+        let mut runs = None;
+        let mut quick = false;
+        let mut i = 1;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--quick" => quick = true,
+                "--runs" => {
+                    i += 1;
+                    runs = Some(
+                        argv.get(i)
+                            .and_then(|v| v.parse().ok())
+                            .expect("--runs needs an integer"),
+                    );
+                }
+                other => panic!("unknown argument {other} (supported: --quick, --runs N)"),
+            }
+            i += 1;
+        }
+        Self { runs, quick }
+    }
+
+    pub fn runs_or(&self, default: usize) -> usize {
+        self.runs.unwrap_or(if self.quick { 2 } else { default })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_or_prefers_explicit_then_quick_then_default() {
+        let explicit = Args { runs: Some(7), quick: true };
+        assert_eq!(explicit.runs_or(5), 7, "--runs wins over --quick");
+        let quick = Args { runs: None, quick: true };
+        assert_eq!(quick.runs_or(5), 2);
+        let default = Args { runs: None, quick: false };
+        assert_eq!(default.runs_or(5), 5);
+    }
+}

@@ -1,0 +1,112 @@
+//! The Figure 2/3 bit-width sweep: accuracy of a 2-layer GCN under sampled
+//! per-component bit assignments, and the Pareto front over
+//! (average bits ↓, accuracy ↑).
+
+use mixq_core::{gcn_cost_model, gcn_schema, BitAssignment, QGcnNet, QuantKind};
+use mixq_graph::NodeDataset;
+use mixq_nn::{mean_std, train_node, NodeBundle, ParamSet, TrainConfig};
+use mixq_tensor::Rng;
+
+/// One evaluated bit-width combination.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    pub bits: Vec<u8>,
+    pub avg_bits: f64,
+    pub acc: f64,
+    pub gbitops: f64,
+}
+
+/// Evaluates `samples` random combinations from `choices^9` (plus the
+/// uniform corners) with `runs` training runs each. The paper enumerates
+/// all 3⁹ = 19,683 combinations; the deterministic sample keeps the sweep
+/// tractable on one core while covering the same range.
+pub fn gcn_bit_sweep(
+    ds: &NodeDataset,
+    bundle: &NodeBundle,
+    choices: &[u8],
+    samples: usize,
+    runs: usize,
+    epochs: usize,
+) -> Vec<SweepPoint> {
+    let dims = vec![ds.feat_dim(), 64, ds.num_classes()];
+    let schema = gcn_schema(2);
+    let mut rng = Rng::seed_from_u64(0xF160);
+    let mut combos: Vec<BitAssignment> =
+        choices.iter().map(|&b| BitAssignment::uniform(schema.clone(), b)).collect();
+    for _ in 0..samples.saturating_sub(combos.len()) {
+        combos.push(BitAssignment::random(schema.clone(), choices, &mut rng));
+    }
+    let n = ds.num_nodes() as u64;
+    let nnz = (ds.num_edges() + ds.num_nodes()) as u64;
+
+    combos
+        .into_iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let mut accs = Vec::with_capacity(runs);
+            for run in 0..runs {
+                let seed = (i * 31 + run) as u64;
+                let cfg = TrainConfig {
+                    epochs,
+                    lr: 0.01,
+                    weight_decay: 5e-4,
+                    seed,
+                    patience: 30,
+                };
+                let mut prng = Rng::seed_from_u64(seed ^ 0xF2);
+                let mut ps = ParamSet::new();
+                let mut net = QGcnNet::new(
+                    &mut ps,
+                    &dims,
+                    a.clone(),
+                    QuantKind::Native,
+                    &bundle.degrees,
+                    0.5,
+                    &mut prng,
+                );
+                accs.push(train_node(&mut net, &mut ps, ds, bundle, &cfg).test_metric);
+            }
+            let (acc, _) = mean_std(&accs);
+            let cm = gcn_cost_model(&a, &dims, n, nnz);
+            SweepPoint { bits: a.bits, avg_bits: cm.avg_bits(), acc, gbitops: cm.gbit_ops() }
+        })
+        .collect()
+}
+
+/// Indices of the Pareto-optimal points (maximize accuracy, minimize
+/// average bits).
+pub fn pareto_front(points: &[SweepPoint]) -> Vec<usize> {
+    let mut front = Vec::new();
+    for (i, p) in points.iter().enumerate() {
+        let dominated = points.iter().enumerate().any(|(j, q)| {
+            j != i
+                && q.acc >= p.acc
+                && q.avg_bits <= p.avg_bits
+                && (q.acc > p.acc || q.avg_bits < p.avg_bits)
+        });
+        if !dominated {
+            front.push(i);
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pareto_front_filters_dominated_points() {
+        let mk = |bits: f64, acc: f64| SweepPoint {
+            bits: vec![],
+            avg_bits: bits,
+            acc,
+            gbitops: 0.0,
+        };
+        let pts = vec![mk(2.0, 0.5), mk(4.0, 0.8), mk(4.0, 0.6), mk(8.0, 0.8), mk(3.0, 0.7)];
+        let front = pareto_front(&pts);
+        // (4.0, 0.6) dominated by (4.0, 0.8) and (3.0, 0.7); (8.0, 0.8)
+        // dominated by (4.0, 0.8).
+        assert_eq!(front, vec![0, 1, 4]);
+    }
+}

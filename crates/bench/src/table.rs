@@ -1,0 +1,98 @@
+//! Minimal aligned-column table printer for the experiment binaries.
+
+/// Collects rows and prints them with aligned columns, paper-style.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: String,
+}
+
+impl Table {
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            title: title.to_string(),
+        }
+    }
+
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let line: usize = widths.iter().sum::<usize>() + 3 * widths.len() + 1;
+        println!("\n{}", self.title);
+        println!("{}", "=".repeat(line.min(110)));
+        let fmt_row = |cells: &[String]| {
+            let mut s = String::from("|");
+            for (cell, w) in cells.iter().zip(&widths) {
+                let pad = w - cell.chars().count();
+                s.push(' ');
+                s.push_str(cell);
+                s.push_str(&" ".repeat(pad + 1));
+                s.push('|');
+            }
+            s
+        };
+        println!("{}", fmt_row(&self.header));
+        println!("{}", "-".repeat(line.min(110)));
+        for row in &self.rows {
+            println!("{}", fmt_row(row));
+        }
+        println!();
+    }
+}
+
+/// `82.3±0.4%` formatting used across tables.
+pub fn pct(mean: f64, std: f64) -> String {
+    format!("{:.1}±{:.1}%", mean * 100.0, std * 100.0)
+}
+
+/// Fraction (e.g. ROC-AUC) with two decimals.
+pub fn frac(mean: f64, std: f64) -> String {
+    format!("{mean:.2}±{std:.2}")
+}
+
+pub fn bits(b: f64) -> String {
+    format!("{b:.2}")
+}
+
+pub fn gbops(g: f64) -> String {
+    if g >= 100.0 {
+        format!("{g:.0}")
+    } else if g >= 1.0 {
+        format!("{g:.2}")
+    } else {
+        format!("{g:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats() {
+        assert_eq!(pct(0.8152, 0.007), "81.5±0.7%");
+        assert_eq!(bits(7.6911), "7.69");
+        assert_eq!(gbops(16.114), "16.11");
+        assert_eq!(gbops(0.1234), "0.123");
+        assert_eq!(gbops(692.87), "693");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&["x".to_string()]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Range observers that turn activation/weight statistics into quantization
+//! parameters during quantization-aware training.
+
+use mixq_tensor::{Matrix, QuantParams};
+
+/// Tracks the value range of a tensor across training iterations.
+///
+/// Two policies are provided:
+/// * plain min/max with exponential moving average (`ema = 0` keeps the
+///   running extrema, `0 < ema ≤ 1` smooths like standard QAT observers);
+/// * percentile clipping ([`Observer::observe_percentile`]) as used by
+///   Degree-Quant to reduce the variance of quantized aggregation outputs.
+#[derive(Debug, Clone)]
+pub struct Observer {
+    min: f32,
+    max: f32,
+    mean: f32,
+    var: f32,
+    initialized: bool,
+    /// EMA coefficient: `new = (1−ema)·old + ema·batch`. `1.0` = last batch.
+    pub ema: f32,
+}
+
+impl Default for Observer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Observer {
+    pub fn new() -> Self {
+        Self { min: 0.0, max: 0.0, mean: 0.0, var: 0.0, initialized: false, ema: 0.05 }
+    }
+
+    pub fn with_ema(ema: f32) -> Self {
+        Self { ema, ..Self::new() }
+    }
+
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+
+    pub fn range(&self) -> (f32, f32) {
+        (self.min, self.max)
+    }
+
+    fn update(&mut self, lo: f32, hi: f32) {
+        // Without moment statistics, assume a uniform-ish spread so the
+        // ACIQ clipping still has something to work with.
+        let mean = 0.5 * (lo + hi);
+        let var = ((hi - lo) / 4.0).powi(2);
+        self.update_full(lo, hi, mean, var);
+    }
+
+    fn update_full(&mut self, lo: f32, hi: f32, mean: f32, var: f32) {
+        if !self.initialized {
+            self.min = lo;
+            self.max = hi;
+            self.mean = mean;
+            self.var = var;
+            self.initialized = true;
+        } else {
+            self.min = (1.0 - self.ema) * self.min + self.ema * lo;
+            self.max = (1.0 - self.ema) * self.max + self.ema * hi;
+            self.mean = (1.0 - self.ema) * self.mean + self.ema * mean;
+            self.var = (1.0 - self.ema) * self.var + self.ema * var;
+        }
+    }
+
+    /// Observes a batch: min/max plus mean/variance (for MSE-optimal
+    /// clipping at low bit-widths).
+    pub fn observe(&mut self, m: &Matrix) {
+        let n = m.numel() as f32;
+        let mean = m.sum() / n;
+        let var = m.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        self.update_full(m.min(), m.max(), mean, var);
+    }
+
+    /// Observes an externally computed `[lo, hi]` range (per-row observers).
+    pub fn update_range(&mut self, lo: f32, hi: f32) {
+        self.update(lo, hi);
+    }
+
+    /// Observes the `pct`/`1−pct` percentiles of a batch (Degree-Quant's
+    /// range policy; `pct` around 0.001–0.01).
+    pub fn observe_percentile(&mut self, m: &Matrix, pct: f64) {
+        assert!((0.0..0.5).contains(&pct));
+        let mut vals: Vec<f32> = m.data().to_vec();
+        vals.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = vals.len();
+        let lo_i = ((n as f64 * pct) as usize).min(n - 1);
+        let hi_i = ((n as f64 * (1.0 - pct)) as usize).min(n - 1);
+        self.update(vals[lo_i], vals[hi_i]);
+    }
+
+    /// ACIQ clipping multiplier (Banner et al.): the MSE-optimal clip value
+    /// for a Gaussian is `c(b)·σ`. Wider than 8 bits ⇒ no statistical
+    /// clipping (min/max covers).
+    fn aciq_multiplier(bits: u8) -> Option<f32> {
+        match bits {
+            2 => Some(1.71),
+            3 => Some(2.15),
+            4 => Some(2.55),
+            5 => Some(2.94),
+            6 => Some(3.29),
+            7 => Some(3.61),
+            8 => Some(3.92),
+            _ => None,
+        }
+    }
+
+    /// Quantization parameters for this tensor at `bits`.
+    ///
+    /// Low bit-widths trade range for resolution: the range is clipped to
+    /// the MSE-optimal `μ ± c(b)·σ` (ACIQ) instead of the raw min/max — a
+    /// narrow quantizer that covered the full range would waste its few
+    /// levels on outliers. This mirrors the paper's scale tuning (their
+    /// S/Z are trained by gradient descent to the same effect) and is what
+    /// makes the task loss genuinely prefer wide bit-widths during the
+    /// relaxed search.
+    pub fn qparams(&self, bits: u8, symmetric: bool) -> QuantParams {
+        assert!(self.initialized, "observer has seen no data");
+        let (mut lo, mut hi) = (self.min, self.max);
+        if let Some(c) = Self::aciq_multiplier(bits) {
+            let sd = self.var.max(0.0).sqrt();
+            if sd > 0.0 {
+                lo = lo.max(self.mean - c * sd);
+                hi = hi.min(self.mean + c * sd);
+            }
+        }
+        if symmetric {
+            QuantParams::symmetric(lo, hi, bits)
+        } else {
+            QuantParams::from_min_max(lo, hi, bits)
+        }
+    }
+
+    /// Quantization parameters from the raw observed range (no statistical
+    /// clipping) — used by Degree-Quant, whose percentile observation *is*
+    /// its clipping policy.
+    pub fn qparams_minmax(&self, bits: u8, symmetric: bool) -> QuantParams {
+        assert!(self.initialized, "observer has seen no data");
+        if symmetric {
+            QuantParams::symmetric(self.min, self.max, bits)
+        } else {
+            QuantParams::from_min_max(self.min, self.max, bits)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_initializes() {
+        let mut o = Observer::new();
+        o.observe(&Matrix::from_vec(1, 3, vec![-2.0, 0.0, 5.0]));
+        assert_eq!(o.range(), (-2.0, 5.0));
+    }
+
+    #[test]
+    fn ema_smooths_towards_new_range() {
+        let mut o = Observer::with_ema(0.5);
+        o.observe(&Matrix::from_vec(1, 2, vec![0.0, 4.0]));
+        o.observe(&Matrix::from_vec(1, 2, vec![0.0, 8.0]));
+        let (_, hi) = o.range();
+        assert!((hi - 6.0).abs() < 1e-6, "EMA of 4 and 8 at 0.5 is 6, got {hi}");
+    }
+
+    #[test]
+    fn percentile_ignores_outliers() {
+        let mut vals = vec![0.5f32; 998];
+        vals.push(1000.0);
+        vals.push(-1000.0);
+        let m = Matrix::from_vec(1, 1000, vals);
+        let mut full = Observer::new();
+        full.observe(&m);
+        let mut pct = Observer::new();
+        pct.observe_percentile(&m, 0.01);
+        assert_eq!(full.range().1, 1000.0);
+        assert!(pct.range().1 < 1.0, "percentile must clip the outlier");
+        assert!(pct.range().0 > -1.0);
+    }
+
+    #[test]
+    fn qparams_cover_observed_range() {
+        let mut o = Observer::new();
+        o.observe(&Matrix::from_vec(1, 2, vec![-1.5, 3.0]));
+        let qp = o.qparams(8, false);
+        let (lo, hi) = qp.real_range();
+        assert!(lo <= -1.5 + qp.scale && hi >= 3.0 - qp.scale);
+        let sym = o.qparams(8, true);
+        assert_eq!(sym.zero_point, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn qparams_require_data() {
+        Observer::new().qparams(8, false);
+    }
+}

@@ -1,0 +1,148 @@
+//! Fixed-bit-width fake quantizers for quantization-aware training —
+//! the paper's "native quantization-aware training quantizers" (§5).
+
+use mixq_nn::Fwd;
+use mixq_tensor::{QuantParams, Var};
+
+use crate::observer::Observer;
+
+/// Range policy of a [`FakeQuantizer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RangePolicy {
+    /// Min/max with EMA smoothing (standard QAT).
+    MinMax,
+    /// Percentile clipping (Degree-Quant's policy), with the tail fraction.
+    Percentile(f64),
+}
+
+/// One simulated quantizer: observes ranges during training and applies
+/// fake quantization with the clipped straight-through estimator.
+///
+/// `bits == 32` disables quantization (FP32 pass-through), which is how a
+/// component is left unquantized.
+#[derive(Debug, Clone)]
+pub struct FakeQuantizer {
+    pub bits: u8,
+    pub symmetric: bool,
+    pub observer: Observer,
+    pub policy: RangePolicy,
+    /// Disable ACIQ statistical clipping (Degree-Quant provides its own
+    /// percentile clipping).
+    pub raw_range: bool,
+}
+
+impl FakeQuantizer {
+    pub fn new(bits: u8, symmetric: bool) -> Self {
+        Self {
+            bits,
+            symmetric,
+            observer: Observer::new(),
+            policy: RangePolicy::MinMax,
+            raw_range: false,
+        }
+    }
+
+    pub fn with_policy(mut self, policy: RangePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Uses the raw observed range instead of ACIQ clipping.
+    pub fn with_raw_range(mut self) -> Self {
+        self.raw_range = true;
+        self
+    }
+
+    /// True when this quantizer is a no-op (FP32).
+    pub fn is_identity(&self) -> bool {
+        self.bits >= 32
+    }
+
+    /// Current quantization parameters (panics before any observation).
+    pub fn qparams(&self) -> QuantParams {
+        if self.raw_range {
+            self.observer.qparams_minmax(self.bits, self.symmetric)
+        } else {
+            self.observer.qparams(self.bits, self.symmetric)
+        }
+    }
+
+    /// Observes (training only) and fake-quantizes `x`.
+    pub fn forward(&mut self, f: &mut Fwd, x: Var) -> Var {
+        if self.is_identity() {
+            return x;
+        }
+        if f.training || !self.observer.is_initialized() {
+            match self.policy {
+                RangePolicy::MinMax => self.observer.observe(f.tape.value(x)),
+                RangePolicy::Percentile(p) => {
+                    self.observer.observe_percentile(f.tape.value(x), p)
+                }
+            }
+        }
+        let qp = self.qparams();
+        f.tape.fake_quant(x, qp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixq_nn::{Binding, ParamSet};
+    use mixq_tensor::{Matrix, Rng, Tape};
+
+    fn run_forward(q: &mut FakeQuantizer, x: Matrix, training: bool) -> Matrix {
+        let ps = ParamSet::new();
+        let mut tape = Tape::new();
+        let mut binding = Binding::new();
+        let mut rng = Rng::seed_from_u64(0);
+        let mut f = Fwd { tape: &mut tape, ps: &ps, binding: &mut binding, rng: &mut rng, training };
+        let xv = f.tape.constant(x);
+        let y = q.forward(&mut f, xv);
+        tape.value(y).clone()
+    }
+
+    #[test]
+    fn fp32_is_identity() {
+        let mut q = FakeQuantizer::new(32, false);
+        let x = Matrix::from_vec(1, 3, vec![0.123, -4.5, 7.8]);
+        assert_eq!(run_forward(&mut q, x.clone(), true), x);
+    }
+
+    #[test]
+    fn quantized_output_snaps_to_grid() {
+        let mut q = FakeQuantizer::new(4, false);
+        let x = Matrix::from_vec(1, 4, vec![-1.0, -0.33, 0.47, 1.0]);
+        let y = run_forward(&mut q, x, true);
+        let qp = q.qparams();
+        // Every output must be exactly representable.
+        for &v in y.data() {
+            assert!((qp.fake(v) - v).abs() < 1e-6, "{v} is not on the grid");
+        }
+        // 4 bits over [-1,1] ⇒ scale ≈ 2/15.
+        assert!((qp.scale - 2.0 / 15.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn eval_does_not_move_observer() {
+        let mut q = FakeQuantizer::new(8, false);
+        let _ = run_forward(&mut q, Matrix::from_vec(1, 2, vec![-1.0, 1.0]), true);
+        let before = q.observer.range();
+        let _ = run_forward(&mut q, Matrix::from_vec(1, 2, vec![-100.0, 100.0]), false);
+        assert_eq!(q.observer.range(), before, "eval must not update ranges");
+    }
+
+    #[test]
+    fn lower_bits_give_larger_error() {
+        let mut rng = Rng::seed_from_u64(1);
+        let x = Matrix::from_fn(16, 16, |_, _| rng.normal());
+        let mut err = Vec::new();
+        for bits in [2u8, 4, 8] {
+            let mut q = FakeQuantizer::new(bits, false);
+            let y = run_forward(&mut q, x.clone(), true);
+            err.push(y.max_abs_diff(&x));
+        }
+        assert!(err[0] > err[1], "2-bit error must exceed 4-bit: {err:?}");
+        assert!(err[1] > err[2], "4-bit error must exceed 8-bit: {err:?}");
+    }
+}

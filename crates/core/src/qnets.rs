@@ -1,0 +1,710 @@
+//! Fixed-bit-width quantized architectures (QAT training path).
+//!
+//! Each net mirrors its FP32 counterpart in `mixq-nn` with a fake quantizer
+//! on every component of its schema (see [`crate::bits`]). They implement
+//! the same `NodeNet`/`GraphNet` traits, so the standard trainers apply, and
+//! they expose a [`CostModel`] so tables can report Bits / GBitOPs.
+
+use std::sync::Arc;
+
+use mixq_nn::{Fwd, GraphBundle, GraphNet, Linear, Mlp, NodeBundle, NodeNet, ParamSet};
+use mixq_sparse::CsrMatrix;
+use mixq_tensor::{Matrix, QuantParams, Rng, SpPair, Var};
+
+use crate::bits::{gcn_graph_schema, gcn_schema, gin_graph_schema, sage_schema, BitAssignment};
+use crate::cost::CostModel;
+use crate::qat::FakeQuantizer;
+use crate::quantizers::{NodeQuant, QuantKind};
+
+/// Fake-quantizes the values of a sparse adjacency with a symmetric
+/// quantizer (zero-point 0, so structural zeros stay exact — the property
+/// Theorem 1's sparse integer path relies on). `bits ≥ 32` returns the
+/// input unchanged.
+pub fn quantize_adjacency(pair: &Arc<SpPair>, bits: u8) -> Arc<SpPair> {
+    if bits >= 32 {
+        return Arc::clone(pair);
+    }
+    let values = pair.a.values();
+    let lo = values.iter().copied().fold(f32::INFINITY, f32::min);
+    let hi = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let qp = QuantParams::symmetric(lo, hi, bits);
+    let q: CsrMatrix = pair.a.map_values(|_, _, v| qp.fake(v));
+    SpPair::new(q)
+}
+
+/// Caches the quantized adjacency per (layer, bits). Keyed by the source
+/// `SpPair`'s address: node-level training reuses one adjacency for every
+/// epoch (one quantization total), while graph-level tasks alternate
+/// between train and evaluation batches (the cache re-quantizes whenever a
+/// different batch arrives — a size-mismatch would otherwise follow).
+#[derive(Debug, Clone, Default)]
+struct AdjCache(Option<(*const CsrMatrix, Arc<SpPair>)>);
+
+// The raw pointer is only used as a cache key, never dereferenced.
+unsafe impl Send for AdjCache {}
+
+impl AdjCache {
+    fn get(&mut self, pair: &Arc<SpPair>, bits: u8) -> Arc<SpPair> {
+        let key = Arc::as_ptr(&pair.a);
+        match &self.0 {
+            Some((k, cached)) if *k == key => Arc::clone(cached),
+            _ => {
+                let q = quantize_adjacency(pair, bits);
+                self.0 = Some((key, Arc::clone(&q)));
+                q
+            }
+        }
+    }
+}
+
+/// Quantized linear transform: fake-quantizes the weight (STE keeps the
+/// FP32 master trainable), multiplies, adds the (unquantized, as is
+/// standard) bias.
+pub(crate) fn qlinear(f: &mut Fwd, lin: &Linear, qw: &mut FakeQuantizer, x: Var) -> Var {
+    let w = f.binding.bind(f.tape, f.ps, lin.w);
+    let w = if qw.is_identity() { w } else { qw.forward(f, w) };
+    let mut h = f.tape.matmul(x, w);
+    if let Some(bias) = lin.b {
+        let bv = f.binding.bind(f.tape, f.ps, bias);
+        h = f.tape.add_bias(h, bv);
+    }
+    h
+}
+
+// ---- quantized GCN ----------------------------------------------------------
+
+struct QGcnLayer {
+    lin: Linear,
+    q_w: FakeQuantizer,
+    q_lin_out: NodeQuant,
+    q_agg_out: NodeQuant,
+    adj_bits: u8,
+    adj: AdjCache,
+}
+
+/// Quantized multi-layer GCN (schema: [`gcn_schema`]).
+pub struct QGcnNet {
+    pub assignment: BitAssignment,
+    pub dims: Vec<usize>,
+    q_input: NodeQuant,
+    layers: Vec<QGcnLayer>,
+    pub dropout: f32,
+}
+
+impl QGcnNet {
+    /// `dims = [in, h…, classes]`; `assignment` must follow
+    /// `gcn_schema(dims.len()-1)`. `degrees` (node in-degrees) parameterize
+    /// the DQ/A²Q quantizers when `kind` requires them.
+    pub fn new(
+        ps: &mut ParamSet,
+        dims: &[usize],
+        assignment: BitAssignment,
+        kind: QuantKind,
+        degrees: &[usize],
+        dropout: f32,
+        rng: &mut Rng,
+    ) -> Self {
+        let nlayers = dims.len() - 1;
+        assert_eq!(assignment.names, gcn_schema(nlayers), "assignment/schema mismatch");
+        let q_input = kind.make(assignment.get("input"), degrees, ps);
+        let layers = (0..nlayers)
+            .map(|l| QGcnLayer {
+                lin: Linear::new(ps, dims[l], dims[l + 1], rng),
+                q_w: FakeQuantizer::new(assignment.get(&format!("l{l}.weight")), false),
+                q_lin_out: kind.make(assignment.get(&format!("l{l}.lin_out")), degrees, ps),
+                q_agg_out: kind.make(assignment.get(&format!("l{l}.agg_out")), degrees, ps),
+                adj_bits: assignment.get(&format!("l{l}.adj")),
+                adj: AdjCache::default(),
+            })
+            .collect();
+        Self { assignment, dims: dims.to_vec(), q_input, layers, dropout }
+    }
+
+    /// Cost model for a graph with `n` nodes and `nnz` (normalized)
+    /// adjacency non-zeros.
+    pub fn cost_model(&self, n: u64, nnz: u64) -> CostModel {
+        gcn_cost_model(&self.assignment, &self.dims, n, nnz)
+    }
+
+    /// Exports the trained quantization parameters and weights for the
+    /// integer inference engine (Fig. 5(iv)). Requires native quantizers on
+    /// every component and all bit-widths < 32.
+    pub fn snapshot(&self, ps: &ParamSet) -> crate::qinfer::GcnSnapshot {
+        fn native(q: &NodeQuant) -> mixq_tensor::QuantParams {
+            match q {
+                NodeQuant::Native(fq) => {
+                    assert!(!fq.is_identity(), "integer inference needs bits < 32");
+                    fq.qparams()
+                }
+                _ => panic!("integer inference supports native quantizers only"),
+            }
+        }
+        let input_qp = native(&self.q_input);
+        let layers = self
+            .layers
+            .iter()
+            .map(|l| crate::qinfer::GcnLayerSnapshot {
+                weight: ps.value(l.lin.w).clone(),
+                bias: l.lin.b.map(|b| ps.value(b).data().to_vec()),
+                w_qp: l.q_w.qparams(),
+                lin_qp: native(&l.q_lin_out),
+                agg_qp: native(&l.q_agg_out),
+                adj_bits: l.adj_bits,
+            })
+            .collect();
+        crate::qinfer::GcnSnapshot { input_qp, layers }
+    }
+}
+
+/// BitOPs/Bits cost of a (possibly quantized) multi-layer GCN under a
+/// [`gcn_schema`] assignment. Works for FP32 too (uniform 32-bit).
+pub fn gcn_cost_model(a: &BitAssignment, dims: &[usize], n: u64, nnz: u64) -> CostModel {
+    let nlayers = dims.len() - 1;
+    assert_eq!(a.names, gcn_schema(nlayers));
+    {
+        let mut cm = CostModel::new();
+        cm.add_component("input", n * dims[0] as u64, a.get("input"));
+        let mut in_bits = a.get("input");
+        for l in 0..nlayers {
+            let (din, dout) = (dims[l] as u64, dims[l + 1] as u64);
+            let bw = a.get(&format!("l{l}.weight"));
+            let blin = a.get(&format!("l{l}.lin_out"));
+            let badj = a.get(&format!("l{l}.adj"));
+            let bagg = a.get(&format!("l{l}.agg_out"));
+            cm.add_component(format!("l{l}.weight"), din * dout, bw);
+            cm.add_component(format!("l{l}.lin_out"), n * dout, blin);
+            cm.add_component(format!("l{l}.adj"), nnz, badj);
+            cm.add_component(format!("l{l}.agg_out"), n * dout, bagg);
+            cm.add_macs(format!("l{l}.xw"), n * din * dout, in_bits, bw);
+            cm.add_macs(format!("l{l}.spmm"), nnz * dout, badj, blin);
+            in_bits = bagg;
+        }
+        cm
+    }
+}
+
+impl NodeNet for QGcnNet {
+    fn forward(&mut self, f: &mut Fwd, b: &NodeBundle, mut x: Var) -> Var {
+        x = self.q_input.forward(f, x);
+        let last = self.layers.len() - 1;
+        for i in 0..self.layers.len() {
+            let layer = &mut self.layers[i];
+            x = f.tape.dropout(x, self.dropout, f.rng, f.training);
+            // Quantized weight (STE lets gradients reach the FP32 master).
+            let w = f.binding.bind(f.tape, f.ps, layer.lin.w);
+            let wq = if layer.q_w.is_identity() {
+                w
+            } else {
+                layer.q_w.forward(f, w)
+            };
+            let mut h = f.tape.matmul(x, wq);
+            if let Some(bias) = layer.lin.b {
+                let bv = f.binding.bind(f.tape, f.ps, bias);
+                h = f.tape.add_bias(h, bv);
+            }
+            h = layer.q_lin_out.forward(f, h);
+            let qadj = layer.adj.get(&b.norm, layer.adj_bits);
+            let mut y = f.tape.spmm(&qadj, h);
+            y = layer.q_agg_out.forward(f, y);
+            if i < last {
+                y = f.tape.relu(y);
+            }
+            x = y;
+        }
+        x
+    }
+}
+
+// ---- quantized GraphSAGE ----------------------------------------------------
+
+struct QSageLayer {
+    lin_root: Linear,
+    lin_neigh: Linear,
+    q_w_root: FakeQuantizer,
+    q_w_neigh: FakeQuantizer,
+    q_agg: NodeQuant,
+    q_out: NodeQuant,
+    adj_bits: u8,
+    adj: AdjCache,
+}
+
+/// Quantized multi-layer GraphSAGE (schema: [`sage_schema`]).
+pub struct QSageNet {
+    pub assignment: BitAssignment,
+    pub dims: Vec<usize>,
+    q_input: NodeQuant,
+    layers: Vec<QSageLayer>,
+    pub dropout: f32,
+}
+
+impl QSageNet {
+    pub fn new(
+        ps: &mut ParamSet,
+        dims: &[usize],
+        assignment: BitAssignment,
+        kind: QuantKind,
+        degrees: &[usize],
+        dropout: f32,
+        rng: &mut Rng,
+    ) -> Self {
+        let nlayers = dims.len() - 1;
+        assert_eq!(assignment.names, sage_schema(nlayers), "assignment/schema mismatch");
+        let q_input = kind.make(assignment.get("input"), degrees, ps);
+        let layers = (0..nlayers)
+            .map(|l| QSageLayer {
+                lin_root: Linear::new(ps, dims[l], dims[l + 1], rng),
+                lin_neigh: Linear::new_no_bias(ps, dims[l], dims[l + 1], rng),
+                q_w_root: FakeQuantizer::new(assignment.get(&format!("l{l}.w_root")), false),
+                q_w_neigh: FakeQuantizer::new(assignment.get(&format!("l{l}.w_neigh")), false),
+                q_agg: kind.make(assignment.get(&format!("l{l}.agg")), degrees, ps),
+                q_out: kind.make(assignment.get(&format!("l{l}.out")), degrees, ps),
+                adj_bits: assignment.get(&format!("l{l}.adj")),
+                adj: AdjCache::default(),
+            })
+            .collect();
+        Self { assignment, dims: dims.to_vec(), q_input, layers, dropout }
+    }
+
+    pub fn cost_model(&self, n: u64, nnz: u64) -> CostModel {
+        sage_cost_model(&self.assignment, &self.dims, n, nnz)
+    }
+
+    /// Exports the trained quantization parameters and weights for the
+    /// integer inference engine. Requires native quantizers on every
+    /// component and all bit-widths < 32.
+    pub fn snapshot(&self, ps: &ParamSet) -> crate::qinfer::SageSnapshot {
+        fn native(q: &NodeQuant) -> mixq_tensor::QuantParams {
+            match q {
+                NodeQuant::Native(fq) => {
+                    assert!(!fq.is_identity(), "integer inference needs bits < 32");
+                    fq.qparams()
+                }
+                _ => panic!("integer inference supports native quantizers only"),
+            }
+        }
+        let input_qp = native(&self.q_input);
+        let layers = self
+            .layers
+            .iter()
+            .map(|l| crate::qinfer::SageLayerSnapshot {
+                w_root: ps.value(l.lin_root.w).clone(),
+                bias: l.lin_root.b.map(|b| ps.value(b).data().to_vec()),
+                w_neigh: ps.value(l.lin_neigh.w).clone(),
+                w_root_qp: l.q_w_root.qparams(),
+                w_neigh_qp: l.q_w_neigh.qparams(),
+                agg_qp: native(&l.q_agg),
+                out_qp: native(&l.q_out),
+                adj_bits: l.adj_bits,
+            })
+            .collect();
+        crate::qinfer::SageSnapshot { input_qp, layers }
+    }
+}
+
+/// BitOPs/Bits cost of a multi-layer GraphSAGE under a [`sage_schema`]
+/// assignment.
+pub fn sage_cost_model(a: &BitAssignment, dims: &[usize], n: u64, nnz: u64) -> CostModel {
+    let nlayers = dims.len() - 1;
+    assert_eq!(a.names, sage_schema(nlayers));
+    {
+        let mut cm = CostModel::new();
+        cm.add_component("input", n * dims[0] as u64, a.get("input"));
+        let mut in_bits = a.get("input");
+        for l in 0..nlayers {
+            let (din, dout) = (dims[l] as u64, dims[l + 1] as u64);
+            let badj = a.get(&format!("l{l}.adj"));
+            let bwr = a.get(&format!("l{l}.w_root"));
+            let bwn = a.get(&format!("l{l}.w_neigh"));
+            let bagg = a.get(&format!("l{l}.agg"));
+            let bout = a.get(&format!("l{l}.out"));
+            cm.add_component(format!("l{l}.adj"), nnz, badj);
+            cm.add_component(format!("l{l}.w_root"), din * dout, bwr);
+            cm.add_component(format!("l{l}.w_neigh"), din * dout, bwn);
+            cm.add_component(format!("l{l}.agg"), n * din, bagg);
+            cm.add_component(format!("l{l}.out"), n * dout, bout);
+            cm.add_macs(format!("l{l}.spmm"), nnz * din, badj, in_bits);
+            cm.add_macs(format!("l{l}.root"), n * din * dout, in_bits, bwr);
+            cm.add_macs(format!("l{l}.neigh"), n * din * dout, bagg, bwn);
+            in_bits = bout;
+        }
+        cm
+    }
+}
+
+impl NodeNet for QSageNet {
+    fn forward(&mut self, f: &mut Fwd, b: &NodeBundle, mut x: Var) -> Var {
+        x = self.q_input.forward(f, x);
+        let last = self.layers.len() - 1;
+        for i in 0..self.layers.len() {
+            let layer = &mut self.layers[i];
+            x = f.tape.dropout(x, self.dropout, f.rng, f.training);
+            let qadj = layer.adj.get(&b.mean, layer.adj_bits);
+            let agg = f.tape.spmm(&qadj, x);
+            let agg = layer.q_agg.forward(f, agg);
+
+            let wr = f.binding.bind(f.tape, f.ps, layer.lin_root.w);
+            let wr = if layer.q_w_root.is_identity() { wr } else { layer.q_w_root.forward(f, wr) };
+            let mut root = f.tape.matmul(x, wr);
+            if let Some(bias) = layer.lin_root.b {
+                let bv = f.binding.bind(f.tape, f.ps, bias);
+                root = f.tape.add_bias(root, bv);
+            }
+            let wn = f.binding.bind(f.tape, f.ps, layer.lin_neigh.w);
+            let wn =
+                if layer.q_w_neigh.is_identity() { wn } else { layer.q_w_neigh.forward(f, wn) };
+            let neigh = f.tape.matmul(agg, wn);
+
+            let mut y = f.tape.add(root, neigh);
+            y = layer.q_out.forward(f, y);
+            if i < last {
+                y = f.tape.relu(y);
+            }
+            x = y;
+        }
+        x
+    }
+}
+
+// ---- quantized GIN (graph classification) -----------------------------------
+
+struct QGinLayer {
+    mlp: Mlp,
+    eps: mixq_nn::ParamId,
+    q_agg: NodeQuant,
+    q_w1: FakeQuantizer,
+    q_h1: NodeQuant,
+    q_w2: FakeQuantizer,
+    q_h2: NodeQuant,
+    adj_bits: u8,
+}
+
+/// Quantized GIN graph classifier (schema: [`gin_graph_schema`]):
+/// `layers` GIN convolutions with 2-linear MLPs, global max pooling (the
+/// paper's choice, to keep pooled values inside the quantization range),
+/// then a quantized 2-linear head.
+pub struct QGinGraphNet {
+    pub assignment: BitAssignment,
+    pub in_dim: usize,
+    pub hidden: usize,
+    pub classes: usize,
+    q_input: NodeQuant,
+    layers: Vec<QGinLayer>,
+    head1: Linear,
+    head2: Linear,
+    q_head_w1: FakeQuantizer,
+    q_head_h1: NodeQuant,
+    q_head_w2: FakeQuantizer,
+    q_head_out: NodeQuant,
+    pub dropout: f32,
+}
+
+impl QGinGraphNet {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        ps: &mut ParamSet,
+        in_dim: usize,
+        hidden: usize,
+        classes: usize,
+        nlayers: usize,
+        assignment: BitAssignment,
+        kind: QuantKind,
+        degrees: &[usize],
+        rng: &mut Rng,
+    ) -> Self {
+        assert_eq!(assignment.names, gin_graph_schema(nlayers), "assignment/schema mismatch");
+        let q_input = kind.make(assignment.get("input"), degrees, ps);
+        let layers = (0..nlayers)
+            .map(|l| {
+                let ind = if l == 0 { in_dim } else { hidden };
+                QGinLayer {
+                    mlp: Mlp::new(ps, &[ind, hidden, hidden], true, rng),
+                    eps: ps.add_zeros(1, 1),
+                    q_agg: kind.make(assignment.get(&format!("l{l}.agg")), degrees, ps),
+                    q_w1: FakeQuantizer::new(assignment.get(&format!("l{l}.w1")), false),
+                    q_h1: kind.make(assignment.get(&format!("l{l}.h1")), degrees, ps),
+                    q_w2: FakeQuantizer::new(assignment.get(&format!("l{l}.w2")), false),
+                    q_h2: kind.make(assignment.get(&format!("l{l}.h2")), degrees, ps),
+                    adj_bits: assignment.get(&format!("l{l}.adj")),
+                }
+            })
+            .collect();
+        Self {
+            q_head_w1: FakeQuantizer::new(assignment.get("head.w1"), false),
+            q_head_h1: kind.make(assignment.get("head.h1"), degrees, ps),
+            q_head_w2: FakeQuantizer::new(assignment.get("head.w2"), false),
+            q_head_out: kind.make(assignment.get("head.out"), degrees, ps),
+            assignment,
+            in_dim,
+            hidden,
+            classes,
+            q_input,
+            layers,
+            head1: Linear::new(ps, hidden, hidden, rng),
+            head2: Linear::new(ps, hidden, classes, rng),
+            dropout: 0.3,
+        }
+    }
+
+    pub fn cost_model(&self, n: u64, nnz: u64, num_graphs: u64) -> CostModel {
+        gin_graph_cost_model(
+            &self.assignment,
+            self.in_dim,
+            self.hidden,
+            self.classes,
+            self.layers.len(),
+            n,
+            nnz,
+            num_graphs,
+        )
+    }
+}
+
+/// BitOPs/Bits cost of the GIN graph classifier under a
+/// [`gin_graph_schema`] assignment.
+#[allow(clippy::too_many_arguments)]
+pub fn gin_graph_cost_model(
+    a: &BitAssignment,
+    in_dim: usize,
+    hidden: usize,
+    classes: usize,
+    nlayers: usize,
+    n: u64,
+    nnz: u64,
+    num_graphs: u64,
+) -> CostModel {
+    assert_eq!(a.names, gin_graph_schema(nlayers));
+    {
+        let mut cm = CostModel::new();
+        let h = hidden as u64;
+        cm.add_component("input", n * in_dim as u64, a.get("input"));
+        let mut in_bits = a.get("input");
+        for l in 0..nlayers {
+            let din = if l == 0 { in_dim as u64 } else { h };
+            let badj = a.get(&format!("l{l}.adj"));
+            let bagg = a.get(&format!("l{l}.agg"));
+            let bw1 = a.get(&format!("l{l}.w1"));
+            let bh1 = a.get(&format!("l{l}.h1"));
+            let bw2 = a.get(&format!("l{l}.w2"));
+            let bh2 = a.get(&format!("l{l}.h2"));
+            cm.add_component(format!("l{l}.adj"), nnz, badj);
+            cm.add_component(format!("l{l}.agg"), n * din, bagg);
+            cm.add_component(format!("l{l}.w1"), din * h, bw1);
+            cm.add_component(format!("l{l}.h1"), n * h, bh1);
+            cm.add_component(format!("l{l}.w2"), h * h, bw2);
+            cm.add_component(format!("l{l}.h2"), n * h, bh2);
+            cm.add_macs(format!("l{l}.spmm"), nnz * din, badj, in_bits);
+            cm.add_macs(format!("l{l}.lin1"), n * din * h, bagg.max(in_bits), bw1);
+            cm.add_macs(format!("l{l}.lin2"), n * h * h, bh1, bw2);
+            in_bits = bh2;
+        }
+        let g = num_graphs;
+        let c = classes as u64;
+        cm.add_component("head.w1", h * h, a.get("head.w1"));
+        cm.add_component("head.h1", g * h, a.get("head.h1"));
+        cm.add_component("head.w2", h * c, a.get("head.w2"));
+        cm.add_component("head.out", g * c, a.get("head.out"));
+        cm.add_macs("head.lin1", g * h * h, in_bits, a.get("head.w1"));
+        cm.add_macs("head.lin2", g * h * c, a.get("head.h1"), a.get("head.w2"));
+        cm
+    }
+}
+
+impl GraphNet for QGinGraphNet {
+    fn forward(&mut self, f: &mut Fwd, b: &GraphBundle, mut x: Var) -> Var {
+        // Batches differ between train and eval; refresh degree-driven state.
+        self.q_input.set_degrees(&b.degrees);
+        for l in &mut self.layers {
+            l.q_agg.set_degrees(&b.degrees);
+            l.q_h1.set_degrees(&b.degrees);
+            l.q_h2.set_degrees(&b.degrees);
+        }
+        let g = b.num_graphs();
+        let graph_degrees = vec![1usize; g];
+        self.q_head_h1.set_degrees(&graph_degrees);
+        self.q_head_out.set_degrees(&graph_degrees);
+        x = self.q_input.forward(f, x);
+        for i in 0..self.layers.len() {
+            // Split-borrow: MLP internals live in the layer struct.
+            let adj_bits = self.layers[i].adj_bits;
+            let qadj = quantize_adjacency(&b.raw, adj_bits);
+            let agg = f.tape.spmm(&qadj, x);
+            let agg = self.layers[i].q_agg.forward(f, agg);
+            let eps = f.binding.bind(f.tape, f.ps, self.layers[i].eps);
+            let one = f.tape.constant(Matrix::scalar(1.0));
+            let one_eps = f.tape.add(one, eps);
+            let scaled = f.tape.mul_scalar_var(x, one_eps);
+            let comb = f.tape.add(scaled, agg);
+
+            // MLP layer 1 (+ BN) → ReLU → quantize.
+            let layer = &mut self.layers[i];
+            let lin1 = layer.mlp.layers[0].clone();
+            let mut h = qlinear(f, &lin1, &mut layer.q_w1, comb);
+            if let Some(bn) = layer.mlp.norms[0].as_mut() {
+                h = bn.forward(f, h);
+            }
+            h = f.tape.relu(h);
+            h = layer.q_h1.forward(f, h);
+            // MLP layer 2 → quantize.
+            let lin2 = layer.mlp.layers[1].clone();
+            let mut h2 = qlinear(f, &lin2, &mut layer.q_w2, h);
+            h2 = layer.q_h2.forward(f, h2);
+            x = f.tape.relu(h2);
+        }
+        let pooled = f.tape.global_max_pool(x, &b.offsets);
+        let head1 = self.head1.clone();
+        let mut h = qlinear(f, &head1, &mut self.q_head_w1, pooled);
+        h = f.tape.relu(h);
+        h = self.q_head_h1.forward(f, h);
+        h = f.tape.dropout(h, self.dropout, f.rng, f.training);
+        let head2 = self.head2.clone();
+        let mut out = qlinear(f, &head2, &mut self.q_head_w2, h);
+        out = self.q_head_out.forward(f, out);
+        out
+    }
+}
+
+// ---- quantized GCN graph classifier (CSL) ------------------------------------
+
+/// Quantized GCN graph classifier (schema: [`gcn_graph_schema`]), the
+/// 4-layer architecture of Table 9.
+pub struct QGcnGraphNet {
+    pub assignment: BitAssignment,
+    pub in_dim: usize,
+    pub hidden: usize,
+    pub classes: usize,
+    q_input: NodeQuant,
+    layers: Vec<QGcnLayer>,
+    head: Linear,
+    q_head_w: FakeQuantizer,
+    q_head_out: NodeQuant,
+}
+
+impl QGcnGraphNet {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        ps: &mut ParamSet,
+        in_dim: usize,
+        hidden: usize,
+        classes: usize,
+        nlayers: usize,
+        assignment: BitAssignment,
+        kind: QuantKind,
+        degrees: &[usize],
+        rng: &mut Rng,
+    ) -> Self {
+        assert_eq!(assignment.names, gcn_graph_schema(nlayers), "assignment/schema mismatch");
+        let q_input = kind.make(assignment.get("input"), degrees, ps);
+        let layers = (0..nlayers)
+            .map(|l| {
+                let ind = if l == 0 { in_dim } else { hidden };
+                QGcnLayer {
+                    lin: Linear::new(ps, ind, hidden, rng),
+                    q_w: FakeQuantizer::new(assignment.get(&format!("l{l}.weight")), false),
+                    q_lin_out: kind.make(assignment.get(&format!("l{l}.lin_out")), degrees, ps),
+                    q_agg_out: kind.make(assignment.get(&format!("l{l}.agg_out")), degrees, ps),
+                    adj_bits: assignment.get(&format!("l{l}.adj")),
+                    adj: AdjCache::default(),
+                }
+            })
+            .collect();
+        Self {
+            q_head_w: FakeQuantizer::new(assignment.get("head.w"), false),
+            q_head_out: kind.make(assignment.get("head.out"), degrees, ps),
+            assignment,
+            in_dim,
+            hidden,
+            classes,
+            q_input,
+            layers,
+            head: Linear::new(ps, hidden, classes, rng),
+        }
+    }
+
+    pub fn cost_model(&self, n: u64, nnz: u64, num_graphs: u64) -> CostModel {
+        gcn_graph_cost_model(
+            &self.assignment,
+            self.in_dim,
+            self.hidden,
+            self.classes,
+            self.layers.len(),
+            n,
+            nnz,
+            num_graphs,
+        )
+    }
+}
+
+/// BitOPs/Bits cost of the GCN graph classifier under a
+/// [`gcn_graph_schema`] assignment.
+#[allow(clippy::too_many_arguments)]
+pub fn gcn_graph_cost_model(
+    a: &BitAssignment,
+    in_dim: usize,
+    hidden: usize,
+    classes: usize,
+    nlayers: usize,
+    n: u64,
+    nnz: u64,
+    num_graphs: u64,
+) -> CostModel {
+    assert_eq!(a.names, gcn_graph_schema(nlayers));
+    {
+        let mut cm = CostModel::new();
+        let h = hidden as u64;
+        cm.add_component("input", n * in_dim as u64, a.get("input"));
+        let mut in_bits = a.get("input");
+        for l in 0..nlayers {
+            let din = if l == 0 { in_dim as u64 } else { h };
+            let bw = a.get(&format!("l{l}.weight"));
+            let blin = a.get(&format!("l{l}.lin_out"));
+            let badj = a.get(&format!("l{l}.adj"));
+            let bagg = a.get(&format!("l{l}.agg_out"));
+            cm.add_component(format!("l{l}.weight"), din * h, bw);
+            cm.add_component(format!("l{l}.lin_out"), n * h, blin);
+            cm.add_component(format!("l{l}.adj"), nnz, badj);
+            cm.add_component(format!("l{l}.agg_out"), n * h, bagg);
+            cm.add_macs(format!("l{l}.xw"), n * din * h, in_bits, bw);
+            cm.add_macs(format!("l{l}.spmm"), nnz * h, badj, blin);
+            in_bits = bagg;
+        }
+        let g = num_graphs;
+        let c = classes as u64;
+        cm.add_component("head.w", h * c, a.get("head.w"));
+        cm.add_component("head.out", g * c, a.get("head.out"));
+        cm.add_macs("head", g * h * c, in_bits, a.get("head.w"));
+        cm
+    }
+}
+
+impl GraphNet for QGcnGraphNet {
+    fn forward(&mut self, f: &mut Fwd, b: &GraphBundle, mut x: Var) -> Var {
+        self.q_input.set_degrees(&b.degrees);
+        for l in &mut self.layers {
+            l.q_lin_out.set_degrees(&b.degrees);
+            l.q_agg_out.set_degrees(&b.degrees);
+        }
+        let graph_degrees = vec![1usize; b.num_graphs()];
+        self.q_head_out.set_degrees(&graph_degrees);
+        x = self.q_input.forward(f, x);
+        for i in 0..self.layers.len() {
+            let layer = &mut self.layers[i];
+            let w = f.binding.bind(f.tape, f.ps, layer.lin.w);
+            let wq = if layer.q_w.is_identity() { w } else { layer.q_w.forward(f, w) };
+            let mut h = f.tape.matmul(x, wq);
+            if let Some(bias) = layer.lin.b {
+                let bv = f.binding.bind(f.tape, f.ps, bias);
+                h = f.tape.add_bias(h, bv);
+            }
+            h = layer.q_lin_out.forward(f, h);
+            let qadj = layer.adj.get(&b.norm, layer.adj_bits);
+            let mut y = f.tape.spmm(&qadj, h);
+            y = layer.q_agg_out.forward(f, y);
+            x = f.tape.relu(y);
+        }
+        let pooled = f.tape.global_max_pool(x, &b.offsets);
+        let head = self.head.clone();
+        let mut out = qlinear(f, &head, &mut self.q_head_w, pooled);
+        out = self.q_head_out.forward(f, out);
+        out
+    }
+}

@@ -1,0 +1,302 @@
+//! MixQ-GNN bit-width selection — Algorithm 1.
+//!
+//! Builds the relaxed architecture (all quantizers carrying per-bit-width
+//! α logits), trains it on the task loss plus `λ·Σᵢ C(Tᵢ)`, and extracts
+//! the argmax bit-widths. The resulting [`BitAssignment`] is then used to
+//! instantiate and train the corresponding fixed-bit QAT net.
+
+use mixq_graph::{NodeDataset, NodeTargets};
+use mixq_nn::{Adam, Binding, Fwd, GraphBundle, NodeBundle, ParamId, ParamSet};
+use mixq_tensor::{Rng, Tape, Var};
+
+use crate::bits::BitAssignment;
+use crate::relaxed::{RelaxedGcnGraphNet, RelaxedGcnNet, RelaxedGinGraphNet, RelaxedSageNet};
+
+/// Hyper-parameters of the relaxed search phase.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    pub epochs: usize,
+    pub lr: f32,
+    /// The Lagrange multiplier λ weighting `Σ C(T)`. Negative values
+    /// (the paper's `−ε`) reward wider bit-widths.
+    pub lambda: f32,
+    pub seed: u64,
+    /// Epochs during which the α logits stay frozen while Θ fits the task
+    /// (DARTS-style warm-up; prevents the early-training shrinkage bias
+    /// from capturing the bit-width choice).
+    pub warmup: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self { epochs: 60, lr: 0.01, lambda: 0.1, seed: 0, warmup: 25 }
+    }
+}
+
+/// Generic bi-level relaxed-training loop (DARTS-style, as the continuous
+/// relaxation the paper builds on [52]):
+///
+/// * **Θ step** (every epoch): minimize the *training* task loss with the
+///   α logits frozen;
+/// * **α step** (after `cfg.warmup` epochs): minimize the *validation*
+///   task loss plus `λ·Σ C(T)` with Θ frozen.
+///
+/// Updating α on held-out data is essential: on the training loss, coarse
+/// quantizers act as a regularizer/feature-selector and would win even when
+/// they destroy generalization. The penalty sum is normalized by the total
+/// number of penalized elements (so `λ·Σ C` has the scale of an
+/// element-weighted average bit-width, keeping λ's useful range
+/// dataset-size independent).
+fn train_relaxed(
+    ps: &mut ParamSet,
+    cfg: &SearchConfig,
+    alpha_ids: &[ParamId],
+    mut fwd_loss: impl FnMut(&mut Fwd, bool) -> (Var, Vec<(Var, usize)>),
+) {
+    let mut rng = Rng::seed_from_u64(cfg.seed);
+    let mut opt = Adam::new(cfg.lr);
+    for epoch in 0..cfg.epochs {
+        // ---- Θ step on the training loss (α frozen) ----
+        ps.zero_grads();
+        let mut tape = Tape::new();
+        let mut binding = Binding::new();
+        let (loss, _pens) = {
+            let mut f = Fwd {
+                tape: &mut tape,
+                ps,
+                binding: &mut binding,
+                rng: &mut rng,
+                training: true,
+            };
+            fwd_loss(&mut f, false)
+        };
+        tape.backward(loss);
+        ps.pull_grads(&binding, &tape);
+        for &id in alpha_ids {
+            ps.grad_zero(id);
+        }
+        opt.step(ps);
+
+        // ---- α step on the validation loss + penalty (Θ frozen) ----
+        if epoch >= cfg.warmup {
+            ps.zero_grads();
+            let mut tape = Tape::new();
+            let mut binding = Binding::new();
+            let (loss, pens) = {
+                let mut f = Fwd {
+                    tape: &mut tape,
+                    ps,
+                    binding: &mut binding,
+                    rng: &mut rng,
+                    training: false,
+                };
+                fwd_loss(&mut f, true)
+            };
+            let total_elems: usize = pens.iter().map(|&(_, n)| n).sum();
+            // bit_penalty is already divided by 1024·8; undo that and divide
+            // by the architecture size instead.
+            // The 0.15 factor calibrates λ's useful range to the paper's
+            // reported [−0.1, 1] interval (see Fig. 9 reproduction).
+            let norm = 0.02 * cfg.lambda * (1024.0 * 8.0) / total_elems.max(1) as f32;
+            let mut total = loss;
+            for (p, _) in pens {
+                let sp = tape.scale(p, norm);
+                total = tape.add(total, sp);
+            }
+            tape.backward(total);
+            ps.pull_grads(&binding, &tape);
+            for id in ps.all_ids() {
+                if !alpha_ids.contains(&id) {
+                    ps.grad_zero(id);
+                }
+            }
+            opt.step(ps);
+        }
+    }
+}
+
+/// Builds the task loss for a node dataset on an open tape, over the
+/// training split or (for the bi-level α step) the validation split.
+fn node_task_loss(tape: &mut Tape, logits: Var, ds: &NodeDataset, val: bool) -> Var {
+    let idx = if val { &ds.val_idx } else { &ds.train_idx };
+    match &ds.targets {
+        NodeTargets::SingleLabel { labels, .. } => {
+            let targets: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
+            let lp = tape.log_softmax(logits);
+            tape.nll_masked(lp, idx, &targets)
+        }
+        NodeTargets::MultiLabel(t) => tape.bce_with_logits_masked(logits, t, idx),
+    }
+}
+
+/// Carves ~20 % of the batch's graphs out as the α-step validation set.
+fn graph_search_split(
+    train: &GraphBundle,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>, Vec<usize>, Vec<usize>) {
+    let g = train.num_graphs();
+    let mut order: Vec<usize> = (0..g).collect();
+    let mut rng = Rng::seed_from_u64(seed ^ 0x5EED);
+    rng.shuffle(&mut order);
+    let nval = (g / 5).max(1);
+    let (va, tr) = order.split_at(nval);
+    let targets = |rows: &[usize]| rows.iter().map(|&r| train.labels[r]).collect::<Vec<_>>();
+    (tr.to_vec(), targets(tr), va.to_vec(), targets(va))
+}
+
+/// Searches bit-widths for a multi-layer GCN on a node dataset.
+pub fn search_gcn_bits(
+    ds: &NodeDataset,
+    bundle: &NodeBundle,
+    dims: &[usize],
+    bit_choices: &[u8],
+    dropout: f32,
+    cfg: &SearchConfig,
+) -> BitAssignment {
+    let mut ps = ParamSet::new();
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ 0xA1);
+    let mut net = RelaxedGcnNet::new(&mut ps, dims, bit_choices, dropout, &mut rng);
+    let alpha_ids = net.alpha_ids();
+    train_relaxed(&mut ps, cfg, &alpha_ids, |f, val| {
+        let x = f.tape.constant(bundle.features.clone());
+        let (logits, pens) = net.forward(f, bundle, x);
+        let loss = node_task_loss(f.tape, logits, ds, val);
+        (loss, pens)
+    });
+    net.extract(&ps)
+}
+
+/// Searches bit-widths for a multi-layer GraphSAGE on a node dataset.
+pub fn search_sage_bits(
+    ds: &NodeDataset,
+    bundle: &NodeBundle,
+    dims: &[usize],
+    bit_choices: &[u8],
+    dropout: f32,
+    cfg: &SearchConfig,
+) -> BitAssignment {
+    let mut ps = ParamSet::new();
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ 0xA2);
+    let mut net = RelaxedSageNet::new(&mut ps, dims, bit_choices, dropout, &mut rng);
+    let alpha_ids = net.alpha_ids();
+    train_relaxed(&mut ps, cfg, &alpha_ids, |f, val| {
+        let x = f.tape.constant(bundle.features.clone());
+        let (logits, pens) = net.forward(f, bundle, x);
+        let loss = node_task_loss(f.tape, logits, ds, val);
+        (loss, pens)
+    });
+    net.extract(&ps)
+}
+
+/// Searches bit-widths for the GIN graph classifier on a training batch.
+#[allow(clippy::too_many_arguments)]
+pub fn search_gin_graph_bits(
+    train: &GraphBundle,
+    in_dim: usize,
+    hidden: usize,
+    classes: usize,
+    nlayers: usize,
+    bit_choices: &[u8],
+    cfg: &SearchConfig,
+) -> BitAssignment {
+    let mut ps = ParamSet::new();
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ 0xA3);
+    let mut net =
+        RelaxedGinGraphNet::new(&mut ps, in_dim, hidden, classes, nlayers, bit_choices, &mut rng);
+    let (tr_rows, tr_targets, va_rows, va_targets) = graph_search_split(train, cfg.seed);
+    let alpha_ids = net.alpha_ids();
+    train_relaxed(&mut ps, cfg, &alpha_ids, |f, val| {
+        let x = f.tape.constant(train.features.clone());
+        let (logits, pens) = net.forward(f, train, x);
+        let lp = f.tape.log_softmax(logits);
+        let (rows, targets) = if val { (&va_rows, &va_targets) } else { (&tr_rows, &tr_targets) };
+        let loss = f.tape.nll_masked(lp, rows, targets);
+        (loss, pens)
+    });
+    net.extract(&ps)
+}
+
+/// Searches bit-widths for the GCN graph classifier (CSL's architecture).
+#[allow(clippy::too_many_arguments)]
+pub fn search_gcn_graph_bits(
+    train: &GraphBundle,
+    in_dim: usize,
+    hidden: usize,
+    classes: usize,
+    nlayers: usize,
+    bit_choices: &[u8],
+    cfg: &SearchConfig,
+) -> BitAssignment {
+    let mut ps = ParamSet::new();
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ 0xA4);
+    let mut net =
+        RelaxedGcnGraphNet::new(&mut ps, in_dim, hidden, classes, nlayers, bit_choices, &mut rng);
+    let (tr_rows, tr_targets, va_rows, va_targets) = graph_search_split(train, cfg.seed);
+    let alpha_ids = net.alpha_ids();
+    train_relaxed(&mut ps, cfg, &alpha_ids, |f, val| {
+        let x = f.tape.constant(train.features.clone());
+        let (logits, pens) = net.forward(f, train, x);
+        let lp = f.tape.log_softmax(logits);
+        let (rows, targets) = if val { (&va_rows, &va_targets) } else { (&tr_rows, &tr_targets) };
+        let loss = f.tape.nll_masked(lp, rows, targets);
+        (loss, pens)
+    });
+    net.extract(&ps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixq_graph::cora_like;
+
+    #[test]
+    fn large_lambda_pushes_bits_down_and_negative_up() {
+        // The key behavioural property of Algorithm 1: λ ≫ 0 favours
+        // narrow bit-widths, λ < 0 favours wide ones.
+        let ds = cora_like(11);
+        let bundle = NodeBundle::new(&ds);
+        let dims = [ds.feat_dim(), 16, ds.num_classes()];
+
+        let narrow = search_gcn_bits(
+            &ds,
+            &bundle,
+            &dims,
+            &[2, 4, 8],
+            0.0,
+            &SearchConfig { epochs: 20, lr: 0.05, lambda: 50.0, seed: 1, warmup: 5 },
+        );
+        let wide = search_gcn_bits(
+            &ds,
+            &bundle,
+            &dims,
+            &[2, 4, 8],
+            0.0,
+            &SearchConfig { epochs: 20, lr: 0.05, lambda: -50.0, seed: 1, warmup: 5 },
+        );
+        assert!(
+            narrow.simple_avg() < wide.simple_avg(),
+            "λ=50 avg {} must be below λ=−50 avg {}",
+            narrow.simple_avg(),
+            wide.simple_avg()
+        );
+        assert_eq!(wide.simple_avg(), 8.0, "strongly negative λ saturates at max bits");
+        assert_eq!(narrow.simple_avg(), 2.0, "strongly positive λ saturates at min bits");
+    }
+
+    #[test]
+    fn search_returns_valid_assignment() {
+        let ds = cora_like(12);
+        let bundle = NodeBundle::new(&ds);
+        let dims = [ds.feat_dim(), 16, ds.num_classes()];
+        let a = search_gcn_bits(
+            &ds,
+            &bundle,
+            &dims,
+            &[4, 8],
+            0.5,
+            &SearchConfig { epochs: 8, lr: 0.02, lambda: 0.1, seed: 2, warmup: 2 },
+        );
+        assert_eq!(a.len(), 9, "2-layer GCN has 9 components");
+        assert!(a.bits.iter().all(|b| [4u8, 8].contains(b)));
+    }
+}

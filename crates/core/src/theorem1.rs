@@ -1,0 +1,302 @@
+//! **Theorem 1** — quantized message passing.
+//!
+//! Given quantized forms `Q_a(A)` and `Q_x(X)`, the quantized product
+//! `Q_y(AX)` can be computed *entirely from integer codes*:
+//!
+//! `Q_y(AX) = C1 ⊙ Q_a(A)Q_x(X) ⊙ C2 + C3`
+//!
+//! with `C1 = S_a` (per-row scales of `A`), `C2 = S_x ⊘ S_y` (per-column
+//! scales) and `C3` a zero-point correction built from row/column sums of
+//! the integer codes. The expensive part — the sparse-dense product — runs
+//! on integers; the corrections are `O(n + f)` vector work.
+//!
+//! Two implementations are provided:
+//!
+//! * [`quantized_matmul_dense`] — the fully general form (arbitrary
+//!   zero-points on both operands) over dense integer codes, used as the
+//!   reference in the equality tests;
+//! * [`quantized_spmm`] — the sparse fast path used by the inference
+//!   engine. It requires `Z_a = 0` (symmetric quantization of the
+//!   adjacency): with an affine zero-point, the integer code of a structural
+//!   zero would be `Z_a ≠ 0` and the "sparse" matrix would densify — which
+//!   is why the engine quantizes adjacencies symmetrically
+//!   (see [`crate::quantize_adjacency`]).
+//!
+//! All correction arithmetic is done in `f64` so the only rounding is the
+//! final `⌊·⌉`, making the integer path numerically identical to quantizing
+//! the fake-quantized FP product (verified by property tests).
+
+use mixq_sparse::{spmm_int, QuantCsr};
+
+/// Quantization vectors for `Y = A·X` (Theorem 1's `{S_a,Z_a}`, `{S_x,Z_x}`,
+/// `{S_y,Z_y}`). `A` is quantized per-row, `X` and `Y` per-column. Scalars
+/// (per-tensor quantization) are the special case of constant vectors.
+#[derive(Debug, Clone)]
+pub struct QmpParams {
+    pub sa: Vec<f32>,
+    pub za: Vec<i32>,
+    pub sx: Vec<f32>,
+    pub zx: Vec<i32>,
+    pub sy: Vec<f32>,
+    pub zy: Vec<i32>,
+    /// Output clipping range.
+    pub y_qmin: i32,
+    pub y_qmax: i32,
+}
+
+impl QmpParams {
+    /// Per-tensor (scalar) parameters broadcast to vectors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn per_tensor(
+        n_rows: usize,
+        n_cols: usize,
+        sa: f32,
+        za: i32,
+        sx: f32,
+        zx: i32,
+        sy: f32,
+        zy: i32,
+        y_qmin: i32,
+        y_qmax: i32,
+    ) -> Self {
+        Self {
+            sa: vec![sa; n_rows],
+            za: vec![za; n_rows],
+            sx: vec![sx; n_cols],
+            zx: vec![zx; n_cols],
+            sy: vec![sy; n_cols],
+            zy: vec![zy; n_cols],
+            y_qmin,
+            y_qmax,
+        }
+    }
+}
+
+#[inline]
+fn round_clip(v: f64, zy: i32, qmin: i32, qmax: i32) -> i32 {
+    let q = v.round_ties_even() as i64 + zy as i64;
+    q.clamp(qmin as i64, qmax as i64) as i32
+}
+
+/// General (dense) Theorem 1: computes `Q_y(AX)` from dense integer codes
+/// `qa` (`n×m`, row-quantized) and `qx` (`m×f`, column-quantized).
+///
+/// Expanding `Q⁻¹(q) = (q − Z)·S` on both operands:
+///
+/// `Y[i,j] = Sa_i·Sx_j·( P[i,j] − Zx_j·rowsum(Qa)_i − Za_i·colsum(Qx)_j
+///            + m·Za_i·Zx_j )` with `P = Qa·Qx`,
+///
+/// then `Q_y = clip(⌊Y[i,j]/Sy_j⌉ + Zy_j)`. The row/column sums are the
+/// `O(n+f)` precomputed factors of the theorem.
+pub fn quantized_matmul_dense(
+    qa: &[i32],
+    n: usize,
+    m: usize,
+    qx: &[i32],
+    f: usize,
+    p: &QmpParams,
+) -> Vec<i32> {
+    assert_eq!(qa.len(), n * m);
+    assert_eq!(qx.len(), m * f);
+    assert_eq!(p.sa.len(), n);
+    assert_eq!(p.sx.len(), f);
+
+    // Integer product P = Qa·Qx in i64.
+    let mut prod = vec![0i64; n * f];
+    for i in 0..n {
+        for k in 0..m {
+            let a = qa[i * m + k] as i64;
+            if a == 0 {
+                continue;
+            }
+            let row = &qx[k * f..(k + 1) * f];
+            let out = &mut prod[i * f..(i + 1) * f];
+            for (o, &x) in out.iter_mut().zip(row.iter()) {
+                *o += a * x as i64;
+            }
+        }
+    }
+    // Precomputed factors.
+    let row_sum_a: Vec<i64> =
+        (0..n).map(|i| qa[i * m..(i + 1) * m].iter().map(|&v| v as i64).sum()).collect();
+    let col_sum_x: Vec<i64> = {
+        let mut s = vec![0i64; f];
+        for k in 0..m {
+            for (j, sj) in s.iter_mut().enumerate() {
+                *sj += qx[k * f + j] as i64;
+            }
+        }
+        s
+    };
+
+    let mut out = vec![0i32; n * f];
+    for i in 0..n {
+        for j in 0..f {
+            let corrected = prod[i * f + j]
+                - p.zx[j] as i64 * row_sum_a[i]
+                - p.za[i] as i64 * col_sum_x[j]
+                + (m as i64) * p.za[i] as i64 * p.zx[j] as i64;
+            let real = p.sa[i] as f64 * p.sx[j] as f64 * corrected as f64 / p.sy[j] as f64;
+            out[i * f + j] = round_clip(real, p.zy[j], p.y_qmin, p.y_qmax);
+        }
+    }
+    out
+}
+
+/// Sparse Theorem 1 fast path: `Q_y(AX)` where `A` is a [`QuantCsr`] with
+/// **zero zero-point** (`Z_a = 0`, enforced by assertion through `p.za`).
+/// The hot loop is the integer SpMM; corrections are per-row/column vector
+/// work.
+pub fn quantized_spmm(qa: &QuantCsr, qx: &[i32], f: usize, p: &QmpParams) -> Vec<i32> {
+    assert!(p.za.iter().all(|&z| z == 0), "sparse path requires Z_a = 0 (symmetric adjacency)");
+    assert_eq!(p.sa.len(), qa.rows());
+    assert_eq!(p.sx.len(), f);
+    let prod = spmm_int(qa, qx, f);
+    let row_sum_a = qa.row_sums_i64();
+    let n = qa.rows();
+    let mut out = vec![0i32; n * f];
+    for i in 0..n {
+        for j in 0..f {
+            let corrected = prod[i * f + j] - p.zx[j] as i64 * row_sum_a[i];
+            let real = p.sa[i] as f64 * p.sx[j] as f64 * corrected as f64 / p.sy[j] as f64;
+            out[i * f + j] = round_clip(real, p.zy[j], p.y_qmin, p.y_qmax);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixq_sparse::{CooEntry, CsrMatrix};
+    use mixq_tensor::{QuantParams, Rng};
+
+    /// Reference: dequantize the codes (i.e. the fake-quantized values),
+    /// multiply in floating point, then quantize the product.
+    fn reference(qa: &[i32], n: usize, m: usize, qx: &[i32], f: usize, p: &QmpParams) -> Vec<i32> {
+        let af: Vec<f64> = (0..n * m)
+            .map(|i| (qa[i] - p.za[i / m]) as f64 * p.sa[i / m] as f64)
+            .collect();
+        let xf: Vec<f64> =
+            (0..m * f).map(|i| (qx[i] - p.zx[i % f]) as f64 * p.sx[i % f] as f64).collect();
+        let mut out = vec![0i32; n * f];
+        for i in 0..n {
+            for j in 0..f {
+                let mut acc = 0f64;
+                for k in 0..m {
+                    acc += af[i * m + k] * xf[k * f + j];
+                }
+                out[i * f + j] = round_clip(acc / p.sy[j] as f64, p.zy[j], p.y_qmin, p.y_qmax);
+            }
+        }
+        out
+    }
+
+    fn random_case(seed: u64, za_zero: bool) -> (Vec<i32>, Vec<i32>, usize, usize, usize, QmpParams) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let n = 2 + rng.gen_range(5);
+        let m = 2 + rng.gen_range(5);
+        let f = 1 + rng.gen_range(6);
+        let (aqmin, aqmax) = QuantParams::int_range(4);
+        let (xqmin, xqmax) = QuantParams::int_range(8);
+        let qa: Vec<i32> =
+            (0..n * m).map(|_| aqmin + rng.gen_range((aqmax - aqmin + 1) as usize) as i32).collect();
+        let qx: Vec<i32> =
+            (0..m * f).map(|_| xqmin + rng.gen_range((xqmax - xqmin + 1) as usize) as i32).collect();
+        let p = QmpParams {
+            sa: (0..n).map(|_| rng.uniform_in(0.01, 0.5)).collect(),
+            za: (0..n)
+                .map(|_| if za_zero { 0 } else { rng.gen_range(7) as i32 - 3 })
+                .collect(),
+            sx: (0..f).map(|_| rng.uniform_in(0.01, 0.5)).collect(),
+            zx: (0..f).map(|_| rng.gen_range(21) as i32 - 10).collect(),
+            sy: (0..f).map(|_| rng.uniform_in(0.05, 1.0)).collect(),
+            zy: (0..f).map(|_| rng.gen_range(11) as i32 - 5).collect(),
+            y_qmin: -128,
+            y_qmax: 127,
+        };
+        (qa, qx, n, m, f, p)
+    }
+
+    #[test]
+    fn dense_theorem_matches_fp_reference() {
+        for seed in 0..50 {
+            let (qa, qx, n, m, f, p) = random_case(seed, false);
+            let got = quantized_matmul_dense(&qa, n, m, &qx, f, &p);
+            let want = reference(&qa, n, m, &qx, f, &p);
+            assert_eq!(got, want, "mismatch at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sparse_theorem_matches_dense_theorem() {
+        for seed in 100..130 {
+            let mut rng = Rng::seed_from_u64(seed);
+            let (_, qx, n, m, f, p) = random_case(seed, true);
+            // Random sparse integer adjacency (≈30 % density).
+            let mut entries = Vec::new();
+            let mut dense_qa = vec![0i32; n * m];
+            for i in 0..n {
+                for k in 0..m {
+                    if rng.bernoulli(0.3) {
+                        let v = rng.gen_range(15) as i32 - 7;
+                        if v != 0 {
+                            entries.push(CooEntry { row: i, col: k, val: v as f32 });
+                            dense_qa[i * m + k] = v;
+                        }
+                    }
+                }
+            }
+            let csr = CsrMatrix::from_coo(n, m, entries);
+            let qcsr = QuantCsr::from_csr(&csr, 4, |_, _, v| v as i32);
+            let sparse = quantized_spmm(&qcsr, &qx, f, &p);
+            let dense = quantized_matmul_dense(&dense_qa, n, m, &qx, f, &p);
+            assert_eq!(sparse, dense, "mismatch at seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Z_a = 0")]
+    fn sparse_path_rejects_nonzero_adjacency_zero_point() {
+        let csr = CsrMatrix::from_coo(1, 1, vec![CooEntry { row: 0, col: 0, val: 1.0 }]);
+        let qcsr = QuantCsr::from_csr(&csr, 4, |_, _, v| v as i32);
+        let mut p = QmpParams::per_tensor(1, 1, 0.1, 0, 0.1, 0, 0.1, 0, -8, 7);
+        p.za[0] = 1;
+        quantized_spmm(&qcsr, &[1], 1, &p);
+    }
+
+    #[test]
+    fn identity_quantization_recovers_integer_product() {
+        // With all scales 1 and zero-points 0, Theorem 1 is just the
+        // integer product (no clipping within range).
+        let qa = vec![1, 2, 3, 4]; // 2×2
+        let qx = vec![5, 6, 7, 8]; // 2×2
+        let p = QmpParams::per_tensor(2, 2, 1.0, 0, 1.0, 0, 1.0, 0, -1000, 1000);
+        let got = quantized_matmul_dense(&qa, 2, 2, &qx, 2, &p);
+        assert_eq!(got, vec![19, 22, 43, 50]);
+    }
+
+    #[test]
+    fn output_respects_clipping_range() {
+        let (qa, qx, n, m, f, mut p) = random_case(7, false);
+        p.y_qmin = -8;
+        p.y_qmax = 7;
+        let got = quantized_matmul_dense(&qa, n, m, &qx, f, &p);
+        assert!(got.iter().all(|&v| (-8..=7).contains(&v)));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// Property: for any random codes and quantization vectors, the
+        /// factored integer computation equals quantizing the FP product of
+        /// the fake-quantized operands (the theorem's claim).
+        #[test]
+        fn prop_theorem1_exact(seed in 0u64..10_000) {
+            let (qa, qx, n, m, f, p) = random_case(seed, false);
+            let got = quantized_matmul_dense(&qa, n, m, &qx, f, &p);
+            let want = reference(&qa, n, m, &qx, f, &p);
+            proptest::prop_assert_eq!(got, want);
+        }
+    }
+}

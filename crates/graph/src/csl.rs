@@ -1,0 +1,166 @@
+//! The CSL (Circular Skip Links) synthetic dataset, generated *exactly* as
+//! in Murphy et al. (2019) and the paper's Table 9: 150 graphs on 41 nodes,
+//! 10 isomorphism classes `C(41, s)` for skip lengths
+//! `s ∈ {2,3,4,5,6,9,11,12,13,16}`, 15 node-permuted copies per class.
+//!
+//! CSL graphs are regular, so message passing alone cannot distinguish them;
+//! the paper (and this module) equips nodes with Laplacian positional
+//! encodings. The paper's information-theoretic observation — features need
+//! ≈ log₂(41) ≈ 5.36 bits, so INT4 is marginal and INT2 fails — is what
+//! Table 9 tests.
+
+use mixq_sparse::{sym_laplacian, CooEntry, CsrMatrix};
+use mixq_tensor::{Matrix, Rng};
+
+use crate::graph_dataset::{GraphDataset, SmallGraph};
+use crate::linalg::jacobi_eigh;
+
+/// The standard CSL skip lengths (10 isomorphism classes on 41 nodes).
+pub const CSL_SKIPS: [usize; 10] = [2, 3, 4, 5, 6, 9, 11, 12, 13, 16];
+pub const CSL_NODES: usize = 41;
+
+/// Builds the circulant graph `C(n, s)`: a cycle 0–1–…–(n−1)–0 plus skip
+/// edges `i ↔ (i+s) mod n`.
+pub fn circular_skip_graph(n: usize, skip: usize) -> CsrMatrix {
+    let mut entries = Vec::with_capacity(4 * n);
+    for i in 0..n {
+        for j in [(i + 1) % n, (i + skip) % n] {
+            if i != j {
+                entries.push(CooEntry { row: i, col: j, val: 1.0 });
+                entries.push(CooEntry { row: j, col: i, val: 1.0 });
+            }
+        }
+    }
+    CsrMatrix::from_coo(n, n, entries)
+}
+
+/// Applies a node permutation `perm` (new index of old node `i` is
+/// `perm[i]`) to an adjacency matrix.
+pub fn permute_graph(adj: &CsrMatrix, perm: &[usize]) -> CsrMatrix {
+    let n = adj.rows();
+    assert_eq!(perm.len(), n);
+    let mut entries = Vec::with_capacity(adj.nnz());
+    for r in 0..n {
+        for (c, v) in adj.row(r) {
+            entries.push(CooEntry { row: perm[r], col: perm[c], val: v });
+        }
+    }
+    CsrMatrix::from_coo(n, n, entries)
+}
+
+/// Laplacian positional encodings: each node's features are its entries in
+/// the `dim` eigenvectors of the symmetric normalized Laplacian with the
+/// smallest non-trivial eigenvalues. Eigenvector signs are randomized (the
+/// standard augmentation — eigenvectors are only defined up to sign).
+pub fn laplacian_pe(adj: &CsrMatrix, dim: usize, rng: &mut Rng) -> Matrix {
+    let n = adj.rows();
+    let l = sym_laplacian(adj);
+    let dense = Matrix::from_vec(n, n, l.to_dense());
+    let (_, vecs) = jacobi_eigh(&dense, 60);
+    let dim = dim.min(n.saturating_sub(1));
+    let signs: Vec<f32> =
+        (0..dim).map(|_| if rng.bernoulli(0.5) { 1.0 } else { -1.0 }).collect();
+    // Skip the trivial (constant) eigenvector at index 0.
+    Matrix::from_fn(n, dim, |r, c| vecs.get(r, c + 1) * signs[c])
+}
+
+/// Generates the full CSL dataset: `copies` node-permuted instances of each
+/// of the 10 classes, with `pe_dim`-dimensional Laplacian PEs as features.
+pub fn csl_dataset(seed: u64, copies: usize, pe_dim: usize) -> GraphDataset {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut graphs = Vec::with_capacity(CSL_SKIPS.len() * copies);
+    let mut labels = Vec::with_capacity(CSL_SKIPS.len() * copies);
+    for (label, &skip) in CSL_SKIPS.iter().enumerate() {
+        let base = circular_skip_graph(CSL_NODES, skip);
+        for _ in 0..copies {
+            let mut perm: Vec<usize> = (0..CSL_NODES).collect();
+            rng.shuffle(&mut perm);
+            let adj = permute_graph(&base, &perm);
+            let features = laplacian_pe(&adj, pe_dim, &mut rng);
+            graphs.push(SmallGraph { adj, features });
+            labels.push(label);
+        }
+    }
+    GraphDataset { name: "CSL".into(), graphs, labels, num_classes: 10 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csl_graph_is_4_regular() {
+        for &s in &CSL_SKIPS {
+            let g = circular_skip_graph(CSL_NODES, s);
+            for d in g.row_degrees() {
+                assert_eq!(d, 4, "C(41,{s}) must be 4-regular");
+            }
+        }
+    }
+
+    #[test]
+    fn csl_classes_are_structurally_distinct() {
+        // Count triangles per graph — a cheap isomorphism-sensitive
+        // statistic that differs across several skip lengths.
+        let tri = |g: &CsrMatrix| {
+            let mut t = 0usize;
+            for r in 0..g.rows() {
+                for (c1, _) in g.row(r) {
+                    for (c2, _) in g.row(r) {
+                        if c1 < c2 && g.get(c1, c2) != 0.0 {
+                            t += 1;
+                        }
+                    }
+                }
+            }
+            t
+        };
+        let t2 = tri(&circular_skip_graph(CSL_NODES, 2));
+        let t5 = tri(&circular_skip_graph(CSL_NODES, 5));
+        assert_ne!(t2, t5, "skip 2 and 5 should differ in triangle count");
+    }
+
+    #[test]
+    fn permutation_preserves_degree_sequence() {
+        let g = circular_skip_graph(11, 3);
+        let mut rng = Rng::seed_from_u64(4);
+        let mut perm: Vec<usize> = (0..11).collect();
+        rng.shuffle(&mut perm);
+        let p = permute_graph(&g, &perm);
+        assert_eq!(p.nnz(), g.nnz());
+        let mut d1 = g.row_degrees();
+        let mut d2 = p.row_degrees();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn laplacian_pe_shape_and_scale() {
+        let g = circular_skip_graph(CSL_NODES, 3);
+        let mut rng = Rng::seed_from_u64(1);
+        let pe = laplacian_pe(&g, 20, &mut rng);
+        assert_eq!(pe.shape(), (41, 20));
+        // Eigenvectors are unit-norm: column norms ≈ 1.
+        for c in 0..20 {
+            let norm: f32 = (0..41).map(|r| pe.get(r, c) * pe.get(r, c)).sum();
+            assert!((norm - 1.0).abs() < 1e-2, "column {c} norm {norm}");
+        }
+    }
+
+    #[test]
+    fn dataset_has_150_graphs_10_classes() {
+        let ds = csl_dataset(1, 15, 16);
+        assert_eq!(ds.len(), 150);
+        assert_eq!(ds.num_classes, 10);
+        let mut counts = vec![0usize; 10];
+        for &l in &ds.labels {
+            counts[l] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 15));
+        for g in &ds.graphs {
+            assert_eq!(g.num_nodes(), CSL_NODES);
+            assert_eq!(g.features.cols(), 16);
+        }
+    }
+}

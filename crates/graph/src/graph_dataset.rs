@@ -1,0 +1,430 @@
+//! Graph-classification datasets (TUDataset-style) and batching.
+//!
+//! Each generator mirrors one TUDataset used in the paper's Table 8 at a
+//! reduced scale: the classes differ by the structural signal that makes the
+//! real dataset learnable (density, hubs, rings, communities), and datasets
+//! without node features use degree one-hot encodings exactly as the paper
+//! does ("for datasets lacking node features, one-hot encoding based on node
+//! degree was applied").
+
+use std::collections::HashSet;
+
+use mixq_sparse::{CooEntry, CsrMatrix};
+use mixq_tensor::{Matrix, Rng};
+
+/// One graph of a multi-graph dataset.
+#[derive(Debug, Clone)]
+pub struct SmallGraph {
+    /// Symmetric unit-weight adjacency, no self-loops.
+    pub adj: CsrMatrix,
+    /// Node features, `n×f`.
+    pub features: Matrix,
+}
+
+impl SmallGraph {
+    pub fn num_nodes(&self) -> usize {
+        self.adj.rows()
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.adj.nnz()
+    }
+}
+
+/// A graph classification dataset.
+#[derive(Debug, Clone)]
+pub struct GraphDataset {
+    pub name: String,
+    pub graphs: Vec<SmallGraph>,
+    pub labels: Vec<usize>,
+    pub num_classes: usize,
+}
+
+impl GraphDataset {
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    pub fn feat_dim(&self) -> usize {
+        self.graphs[0].features.cols()
+    }
+
+    pub fn avg_nodes(&self) -> f32 {
+        self.graphs.iter().map(|g| g.num_nodes() as f32).sum::<f32>() / self.len() as f32
+    }
+
+    pub fn avg_edges(&self) -> f32 {
+        self.graphs.iter().map(|g| g.num_edges() as f32).sum::<f32>() / self.len() as f32
+    }
+}
+
+/// A batch of graphs merged into one block-diagonal graph.
+pub struct Batch {
+    /// Block-diagonal adjacency over all batch nodes.
+    pub adj: CsrMatrix,
+    /// Stacked node features.
+    pub features: Matrix,
+    /// `offsets[g]..offsets[g+1]` are the node rows of graph `g`.
+    pub offsets: Vec<usize>,
+}
+
+/// Merges graphs into a block-diagonal batch (the standard trick that turns
+/// graph-level minibatching into one big sparse product).
+pub fn batch_graphs(graphs: &[&SmallGraph]) -> Batch {
+    assert!(!graphs.is_empty());
+    let f = graphs[0].features.cols();
+    let total: usize = graphs.iter().map(|g| g.num_nodes()).sum();
+    let mut offsets = Vec::with_capacity(graphs.len() + 1);
+    offsets.push(0);
+    let mut entries = Vec::new();
+    let mut features = Matrix::zeros(total, f);
+    let mut base = 0usize;
+    for g in graphs {
+        assert_eq!(g.features.cols(), f, "all graphs must share feature dim");
+        for r in 0..g.num_nodes() {
+            for (c, v) in g.adj.row(r) {
+                entries.push(CooEntry { row: base + r, col: base + c, val: v });
+            }
+            features.row_slice_mut(base + r).copy_from_slice(g.features.row_slice(r));
+        }
+        base += g.num_nodes();
+        offsets.push(base);
+    }
+    Batch { adj: CsrMatrix::from_coo(total, total, entries), features, offsets }
+}
+
+// ---- low-level graph builders ---------------------------------------------
+
+/// Undirected edge accumulator that deduplicates and rejects self-loops.
+struct EdgeSet {
+    n: usize,
+    seen: HashSet<(usize, usize)>,
+}
+
+impl EdgeSet {
+    fn new(n: usize) -> Self {
+        Self { n, seen: HashSet::new() }
+    }
+
+    fn add(&mut self, u: usize, v: usize) {
+        if u == v || u >= self.n || v >= self.n {
+            return;
+        }
+        self.seen.insert((u.min(v), u.max(v)));
+    }
+
+    fn into_csr(self) -> CsrMatrix {
+        let mut entries = Vec::with_capacity(self.seen.len() * 2);
+        for (u, v) in self.seen {
+            entries.push(CooEntry { row: u, col: v, val: 1.0 });
+            entries.push(CooEntry { row: v, col: u, val: 1.0 });
+        }
+        CsrMatrix::from_coo(self.n, self.n, entries)
+    }
+}
+
+/// Erdős–Rényi edges with probability `p`, plus a random spanning path so
+/// the graph is connected.
+fn er_connected(rng: &mut Rng, n: usize, p: f64) -> CsrMatrix {
+    let mut es = EdgeSet::new(n);
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+    for w in order.windows(2) {
+        es.add(w[0], w[1]);
+    }
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.bernoulli(p) {
+                es.add(u, v);
+            }
+        }
+    }
+    es.into_csr()
+}
+
+/// Star-like graph with `hubs` hub nodes; every leaf connects to a random
+/// hub, hubs are connected to each other, plus a few random extra edges.
+fn hub_graph(rng: &mut Rng, n: usize, hubs: usize, extra: usize) -> CsrMatrix {
+    assert!(hubs >= 1 && hubs < n);
+    let mut es = EdgeSet::new(n);
+    for h in 0..hubs {
+        for h2 in (h + 1)..hubs {
+            es.add(h, h2);
+        }
+    }
+    for v in hubs..n {
+        es.add(v, rng.gen_range(hubs));
+    }
+    for _ in 0..extra {
+        es.add(rng.gen_range(n), rng.gen_range(n));
+    }
+    es.into_csr()
+}
+
+/// Degree one-hot features with `bins` buckets (the last bucket saturates).
+pub fn degree_one_hot(adj: &CsrMatrix, bins: usize) -> Matrix {
+    let degs = adj.row_degrees();
+    Matrix::from_fn(adj.rows(), bins, |r, c| {
+        let b = degs[r].min(bins - 1);
+        if b == c {
+            1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+// ---- TU-style dataset generators -------------------------------------------
+
+/// IMDB-B-like: ego-network genre classification — class 0 is a single dense
+/// community (ER), class 1 is two loosely-joined communities.
+pub fn imdb_b_like(seed: u64, num_graphs: usize) -> GraphDataset {
+    let mut rng = Rng::seed_from_u64(seed);
+    let bins = 20;
+    let mut graphs = Vec::with_capacity(num_graphs);
+    let mut labels = Vec::with_capacity(num_graphs);
+    for i in 0..num_graphs {
+        let label = i % 2;
+        let n = 14 + rng.gen_range(12);
+        let adj = if label == 0 {
+            er_connected(&mut rng, n, 0.35)
+        } else {
+            // Two communities with a sparse bridge.
+            let half = n / 2;
+            let a = er_connected(&mut rng, half, 0.55);
+            let b = er_connected(&mut rng, n - half, 0.55);
+            let mut es = EdgeSet::new(n);
+            for r in 0..half {
+                for (c, _) in a.row(r) {
+                    es.add(r, c);
+                }
+            }
+            for r in 0..(n - half) {
+                for (c, _) in b.row(r) {
+                    es.add(half + r, half + c);
+                }
+            }
+            es.add(rng.gen_range(half), half + rng.gen_range(n - half));
+            es.into_csr()
+        };
+        let features = degree_one_hot(&adj, bins);
+        graphs.push(SmallGraph { adj, features });
+        labels.push(label);
+    }
+    GraphDataset { name: "imdb-b-like".into(), graphs, labels, num_classes: 2 }
+}
+
+/// PROTEINS-like: chains with branches (class 0) vs structures containing
+/// rings (class 1); 3-dimensional node-type features as in the original.
+pub fn proteins_like(seed: u64, num_graphs: usize) -> GraphDataset {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut graphs = Vec::with_capacity(num_graphs);
+    let mut labels = Vec::with_capacity(num_graphs);
+    for i in 0..num_graphs {
+        let label = i % 2;
+        let n = 25 + rng.gen_range(30);
+        let mut es = EdgeSet::new(n);
+        // Backbone path.
+        for v in 1..n {
+            es.add(v - 1, v);
+        }
+        if label == 0 {
+            // Side branches.
+            for _ in 0..n / 4 {
+                let a = rng.gen_range(n);
+                let b = rng.gen_range(n);
+                es.add(a, b);
+            }
+        } else {
+            // Close several short rings along the backbone.
+            for _ in 0..n / 6 {
+                let s = rng.gen_range(n.saturating_sub(6).max(1));
+                let len = 4 + rng.gen_range(3);
+                es.add(s, (s + len).min(n - 1));
+            }
+        }
+        let adj = es.into_csr();
+        // 3 node types, correlated with position parity + degree.
+        let degs = adj.row_degrees();
+        let features = Matrix::from_fn(n, 3, |r, c| {
+            let t = if degs[r] >= 3 { 2 } else { r % 2 };
+            if t == c {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        graphs.push(SmallGraph { adj, features });
+        labels.push(label);
+    }
+    GraphDataset { name: "proteins-like".into(), graphs, labels, num_classes: 2 }
+}
+
+/// D&D-like: larger graphs; class 1 hides a planted clique in a sparse
+/// background. Node features are degree one-hots in a wide (89-ish) space.
+pub fn dd_like(seed: u64, num_graphs: usize) -> GraphDataset {
+    let mut rng = Rng::seed_from_u64(seed);
+    let bins = 30;
+    let mut graphs = Vec::with_capacity(num_graphs);
+    let mut labels = Vec::with_capacity(num_graphs);
+    for i in 0..num_graphs {
+        let label = i % 2;
+        let n = 60 + rng.gen_range(60);
+        let mut adj = er_connected(&mut rng, n, 3.0 / n as f64);
+        if label == 1 {
+            let k = 8 + rng.gen_range(5);
+            let members = rng.sample_indices(n, k);
+            let mut es = EdgeSet::new(n);
+            for r in 0..n {
+                for (c, _) in adj.row(r) {
+                    es.add(r, c);
+                }
+            }
+            for a in 0..k {
+                for b in (a + 1)..k {
+                    es.add(members[a], members[b]);
+                }
+            }
+            adj = es.into_csr();
+        }
+        let features = degree_one_hot(&adj, bins);
+        graphs.push(SmallGraph { adj, features });
+        labels.push(label);
+    }
+    GraphDataset { name: "dd-like".into(), graphs, labels, num_classes: 2 }
+}
+
+/// REDDIT-B-like: discussion-thread graphs — one dominant hub (class 0) vs
+/// two interacting hubs (class 1); extreme degree skew like the original.
+pub fn reddit_b_like(seed: u64, num_graphs: usize) -> GraphDataset {
+    let mut rng = Rng::seed_from_u64(seed);
+    let bins = 40;
+    let mut graphs = Vec::with_capacity(num_graphs);
+    let mut labels = Vec::with_capacity(num_graphs);
+    for i in 0..num_graphs {
+        let label = i % 2;
+        let n = 60 + rng.gen_range(80);
+        let hubs = if label == 0 { 1 } else { 2 };
+        let adj = hub_graph(&mut rng, n, hubs, n / 5);
+        let features = degree_one_hot(&adj, bins);
+        graphs.push(SmallGraph { adj, features });
+        labels.push(label);
+    }
+    GraphDataset { name: "reddit-b-like".into(), graphs, labels, num_classes: 2 }
+}
+
+/// REDDIT-M-like: five classes distinguished by the number of hubs (1–5).
+pub fn reddit_m_like(seed: u64, num_graphs: usize) -> GraphDataset {
+    let mut rng = Rng::seed_from_u64(seed);
+    let bins = 40;
+    let mut graphs = Vec::with_capacity(num_graphs);
+    let mut labels = Vec::with_capacity(num_graphs);
+    for i in 0..num_graphs {
+        let label = i % 5;
+        let n = 70 + rng.gen_range(80);
+        let adj = hub_graph(&mut rng, n, label + 1, n / 6);
+        let features = degree_one_hot(&adj, bins);
+        graphs.push(SmallGraph { adj, features });
+        labels.push(label);
+    }
+    GraphDataset { name: "reddit-m-like".into(), graphs, labels, num_classes: 5 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_is_block_diagonal() {
+        let ds = imdb_b_like(1, 4);
+        let refs: Vec<&SmallGraph> = ds.graphs.iter().collect();
+        let batch = batch_graphs(&refs);
+        assert_eq!(batch.offsets.len(), 5);
+        assert_eq!(
+            *batch.offsets.last().unwrap(),
+            ds.graphs.iter().map(|g| g.num_nodes()).sum::<usize>()
+        );
+        // No cross-graph edges.
+        for g in 0..4 {
+            let (s, e) = (batch.offsets[g], batch.offsets[g + 1]);
+            for r in s..e {
+                for (c, _) in batch.adj.row(r) {
+                    assert!(c >= s && c < e, "edge {r}->{c} escapes graph {g}");
+                }
+            }
+        }
+        // Edge counts preserved.
+        assert_eq!(batch.adj.nnz(), ds.graphs.iter().map(|g| g.num_edges()).sum::<usize>());
+    }
+
+    #[test]
+    fn batch_preserves_features() {
+        let ds = proteins_like(2, 3);
+        let refs: Vec<&SmallGraph> = ds.graphs.iter().collect();
+        let batch = batch_graphs(&refs);
+        let g1 = &ds.graphs[1];
+        let base = batch.offsets[1];
+        for r in 0..g1.num_nodes() {
+            assert_eq!(batch.features.row_slice(base + r), g1.features.row_slice(r));
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_and_balanced() {
+        for (name, ds) in [
+            ("imdb", imdb_b_like(7, 40)),
+            ("proteins", proteins_like(7, 40)),
+            ("dd", dd_like(7, 20)),
+            ("reddit-b", reddit_b_like(7, 40)),
+        ] {
+            let mut counts = vec![0usize; ds.num_classes];
+            for &l in &ds.labels {
+                counts[l] += 1;
+            }
+            let max = counts.iter().max().unwrap();
+            let min = counts.iter().min().unwrap();
+            assert!(max - min <= 1, "{name} classes unbalanced: {counts:?}");
+            for g in &ds.graphs {
+                assert_eq!(g.adj, g.adj.transpose(), "{name} graph not symmetric");
+                assert!(g.num_nodes() > 0);
+            }
+        }
+        assert_eq!(imdb_b_like(7, 10).graphs[3].adj, imdb_b_like(7, 10).graphs[3].adj);
+    }
+
+    #[test]
+    fn reddit_m_has_five_classes() {
+        let ds = reddit_m_like(3, 25);
+        assert_eq!(ds.num_classes, 5);
+        let distinct: std::collections::HashSet<_> = ds.labels.iter().collect();
+        assert_eq!(distinct.len(), 5);
+    }
+
+    #[test]
+    fn reddit_graphs_have_hub_degree_skew() {
+        let ds = reddit_b_like(5, 10);
+        for g in &ds.graphs {
+            let max_deg = *g.adj.row_degrees().iter().max().unwrap();
+            assert!(
+                max_deg as f32 > g.num_nodes() as f32 * 0.3,
+                "expected a dominant hub"
+            );
+        }
+    }
+
+    #[test]
+    fn degree_one_hot_saturates() {
+        let adj = hub_graph(&mut Rng::seed_from_u64(1), 50, 1, 0);
+        let f = degree_one_hot(&adj, 10);
+        // The hub has degree 49 ≥ 10 ⇒ last bucket.
+        assert_eq!(f.get(0, 9), 1.0);
+        for r in 0..50 {
+            let s: f32 = f.row_slice(r).iter().sum();
+            assert_eq!(s, 1.0, "one-hot must have exactly one bit");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Small dense symmetric eigensolver (cyclic Jacobi), used for Laplacian
+//! positional encodings on the CSL graphs (n = 41, so a dense solver is the
+//! right tool).
+
+use mixq_tensor::Matrix;
+
+/// Eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+///
+/// Returns `(eigenvalues, eigenvectors)` with eigenvalues sorted ascending
+/// and eigenvectors as the *columns* of the returned matrix, in the same
+/// order. The input must be square and (numerically) symmetric.
+pub fn jacobi_eigh(a: &Matrix, max_sweeps: usize) -> (Vec<f32>, Matrix) {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "jacobi_eigh requires a square matrix");
+    let mut m = a.clone();
+    let mut v = Matrix::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 });
+
+    for _ in 0..max_sweeps {
+        // Off-diagonal Frobenius norm — the convergence measure.
+        let mut off = 0f32;
+        for r in 0..n {
+            for c in (r + 1)..n {
+                off += m.get(r, c) * m.get(r, c);
+            }
+        }
+        if off < 1e-18 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() < 1e-12 {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                let theta = (aqq - app) / (2.0 * apq);
+                // Stable rotation: t = sign(θ)/(|θ| + sqrt(θ²+1)).
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (theta * theta + 1.0).sqrt())
+                } else {
+                    -1.0 / (-theta + (theta * theta + 1.0).sqrt())
+                };
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                // Rotate rows/columns p and q of M.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                // Accumulate the rotation into the eigenvector matrix.
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f32> = (0..n).map(|i| m.get(i, i)).collect();
+    order.sort_by(|&i, &j| diag[i].partial_cmp(&diag[j]).unwrap());
+    let eigvals: Vec<f32> = order.iter().map(|&i| diag[i]).collect();
+    let eigvecs = Matrix::from_fn(n, n, |r, c| v.get(r, order[c]));
+    (eigvals, eigvecs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym_random(n: usize, seed: u64) -> Matrix {
+        let mut rng = mixq_tensor::Rng::seed_from_u64(seed);
+        let b = Matrix::from_fn(n, n, |_, _| rng.normal());
+        // A = (B + Bᵀ)/2 is symmetric.
+        b.zip(&b.transpose(), |x, y| 0.5 * (x + y))
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Matrix::from_vec(3, 3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
+        let (vals, _) = jacobi_eigh(&a, 30);
+        assert!((vals[0] - 1.0).abs() < 1e-5);
+        assert!((vals[1] - 2.0).abs() < 1e-5);
+        assert!((vals[2] - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let (vals, vecs) = jacobi_eigh(&a, 30);
+        assert!((vals[0] - 1.0).abs() < 1e-5);
+        assert!((vals[1] - 3.0).abs() < 1e-5);
+        // Eigenvector of λ=3 is (1,1)/√2 up to sign.
+        let v = (vecs.get(0, 1), vecs.get(1, 1));
+        assert!((v.0.abs() - std::f32::consts::FRAC_1_SQRT_2).abs() < 1e-4);
+        assert!((v.0 - v.1).abs() < 1e-4 || (v.0 + v.1).abs() < 1e-4);
+    }
+
+    #[test]
+    fn satisfies_eigen_equation() {
+        let a = sym_random(12, 5);
+        let (vals, vecs) = jacobi_eigh(&a, 50);
+        for j in 0..12 {
+            // A v_j == λ_j v_j
+            for r in 0..12 {
+                let av: f32 = (0..12).map(|k| a.get(r, k) * vecs.get(k, j)).sum();
+                assert!(
+                    (av - vals[j] * vecs.get(r, j)).abs() < 1e-3,
+                    "eigen equation violated at ({r},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = sym_random(10, 7);
+        let (_, vecs) = jacobi_eigh(&a, 50);
+        for i in 0..10 {
+            for j in 0..10 {
+                let dot: f32 = (0..10).map(|k| vecs.get(k, i) * vecs.get(k, j)).sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-3, "orthonormality failed at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalues_sorted_ascending() {
+        let a = sym_random(8, 9);
+        let (vals, _) = jacobi_eigh(&a, 50);
+        for w in vals.windows(2) {
+            assert!(w[0] <= w[1] + 1e-6);
+        }
+    }
+}

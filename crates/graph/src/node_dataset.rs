@@ -1,0 +1,605 @@
+//! Node-classification datasets.
+//!
+//! The paper evaluates on Planetoid (Cora/CiteSeer/PubMed), OGB
+//! (Arxiv/Proteins/Products), Reddit and IGB. Those corpora are not
+//! available offline, so each is replaced by a *seeded synthetic generator*
+//! that reproduces the structural properties quantization behaviour depends
+//! on — in-degree skew (the main source of aggregation error per the paper),
+//! homophily, sparse bag-of-words-style features and the relative scale
+//! ordering between the datasets — at sizes trainable on one CPU core. See
+//! DESIGN.md ("Substitutions") for the full rationale.
+
+use std::collections::HashSet;
+
+use mixq_sparse::{CooEntry, CsrMatrix};
+use mixq_tensor::{Matrix, Rng};
+
+/// Targets of a node-level task.
+#[derive(Debug, Clone)]
+pub enum NodeTargets {
+    /// One class index per node.
+    SingleLabel { labels: Vec<usize>, num_classes: usize },
+    /// A `n×t` 0/1 matrix of independent binary tasks (evaluated by
+    /// ROC-AUC, like OGB-Proteins).
+    MultiLabel(Matrix),
+}
+
+/// A full-graph node classification dataset with fixed splits.
+#[derive(Debug, Clone)]
+pub struct NodeDataset {
+    pub name: String,
+    /// Raw (unnormalized) adjacency; symmetric with unit weights.
+    pub adj: CsrMatrix,
+    /// Node features, `n×f`, row-normalized sparse bag-of-words style.
+    pub features: Matrix,
+    pub targets: NodeTargets,
+    pub train_idx: Vec<usize>,
+    pub val_idx: Vec<usize>,
+    pub test_idx: Vec<usize>,
+}
+
+impl NodeDataset {
+    pub fn num_nodes(&self) -> usize {
+        self.adj.rows()
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.adj.nnz()
+    }
+
+    pub fn feat_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    pub fn num_classes(&self) -> usize {
+        match &self.targets {
+            NodeTargets::SingleLabel { num_classes, .. } => *num_classes,
+            NodeTargets::MultiLabel(t) => t.cols(),
+        }
+    }
+
+    /// Single-label targets, panicking for multi-label datasets.
+    pub fn labels(&self) -> &[usize] {
+        match &self.targets {
+            NodeTargets::SingleLabel { labels, .. } => labels,
+            NodeTargets::MultiLabel(_) => panic!("{} is a multi-label dataset", self.name),
+        }
+    }
+}
+
+/// Knobs of the synthetic citation-style generator.
+#[derive(Debug, Clone)]
+pub struct CitationConfig {
+    pub name: &'static str,
+    pub nodes: usize,
+    pub feat_dim: usize,
+    pub classes: usize,
+    /// Average (undirected) degree.
+    pub avg_degree: f32,
+    /// Probability that an edge endpoint is drawn from the same class.
+    pub homophily: f64,
+    /// Pareto shape for degree propensities; smaller ⇒ heavier tail.
+    pub degree_alpha: f64,
+    /// Number of "topic" features characteristic of each class.
+    pub topic_size: usize,
+    /// Probability that a node activates each of its class topics.
+    pub p_topic: f64,
+    /// Background activation probability for any feature.
+    pub p_noise: f64,
+    /// Nodes per class in the training split.
+    pub train_per_class: usize,
+    pub val_size: usize,
+    pub test_size: usize,
+}
+
+/// Generates a synthetic citation-style dataset (planted partition with
+/// power-law degree propensities and class-topic features).
+pub fn citation_like(cfg: &CitationConfig, seed: u64) -> NodeDataset {
+    let mut rng = Rng::seed_from_u64(seed);
+    let n = cfg.nodes;
+    let c = cfg.classes;
+
+    // Class assignment, round-robin then shuffled so classes are balanced.
+    let mut labels: Vec<usize> = (0..n).map(|i| i % c).collect();
+    rng.shuffle(&mut labels);
+
+    // Degree propensities: Pareto-distributed, capped to avoid one node
+    // dominating. High-propensity nodes become the high in-degree hubs whose
+    // quantized aggregation the paper identifies as the main error source.
+    let cap = (n as f64 / 8.0).max(10.0);
+    let props: Vec<f64> = (0..n)
+        .map(|_| {
+            let u = rng.uniform().max(1e-9);
+            u.powf(-1.0 / cfg.degree_alpha).min(cap)
+        })
+        .collect();
+
+    // Weighted sampling pools: global and per class.
+    let pool = WeightedPool::new(&props);
+    let class_pools: Vec<WeightedPool> = (0..c)
+        .map(|k| {
+            let idx: Vec<usize> = (0..n).filter(|&i| labels[i] == k).collect();
+            let w: Vec<f64> = idx.iter().map(|&i| props[i]).collect();
+            WeightedPool::with_indices(&w, idx)
+        })
+        .collect();
+
+    let m_target = (n as f32 * cfg.avg_degree / 2.0) as usize;
+    let mut seen: HashSet<(usize, usize)> = HashSet::with_capacity(m_target * 2);
+    let mut entries: Vec<CooEntry> = Vec::with_capacity(m_target * 2);
+    let mut attempts = 0usize;
+    while seen.len() < m_target && attempts < m_target * 30 {
+        attempts += 1;
+        let u = pool.sample(&mut rng);
+        let v = if rng.bernoulli(cfg.homophily) {
+            class_pools[labels[u]].sample(&mut rng)
+        } else {
+            pool.sample(&mut rng)
+        };
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if seen.insert(key) {
+            entries.push(CooEntry { row: key.0, col: key.1, val: 1.0 });
+            entries.push(CooEntry { row: key.1, col: key.0, val: 1.0 });
+        }
+    }
+    let adj = CsrMatrix::from_coo(n, n, entries);
+
+    // Class-topic features: class k activates a contiguous (wrapping) block
+    // of `topic_size` features starting at k·stride, plus uniform noise.
+    let stride = cfg.feat_dim / c;
+    let mut features = Matrix::zeros(n, cfg.feat_dim);
+    for (i, &label) in labels.iter().enumerate() {
+        let base = label * stride;
+        for t in 0..cfg.topic_size {
+            if rng.bernoulli(cfg.p_topic) {
+                let j = (base + t) % cfg.feat_dim;
+                features.set(i, j, 1.0);
+            }
+        }
+        for j in 0..cfg.feat_dim {
+            if rng.bernoulli(cfg.p_noise) {
+                features.set(i, j, 1.0);
+            }
+        }
+        // Ensure no all-zero rows, then row-normalize (Planetoid convention).
+        let s: f32 = features.row_slice(i).iter().sum();
+        if s == 0.0 {
+            features.set(i, base % cfg.feat_dim, 1.0);
+        }
+        let s: f32 = features.row_slice(i).iter().sum();
+        for v in features.row_slice_mut(i) {
+            *v /= s;
+        }
+    }
+
+    let (train_idx, val_idx, test_idx) = planetoid_split(
+        &mut rng,
+        &labels,
+        c,
+        cfg.train_per_class,
+        cfg.val_size,
+        cfg.test_size,
+    );
+
+    NodeDataset {
+        name: cfg.name.to_string(),
+        adj,
+        features,
+        targets: NodeTargets::SingleLabel { labels, num_classes: c },
+        train_idx,
+        val_idx,
+        test_idx,
+    }
+}
+
+/// Planetoid-style split: `per_class` training nodes per class, then `nval`
+/// validation and `ntest` test nodes from the remainder.
+pub fn planetoid_split(
+    rng: &mut Rng,
+    labels: &[usize],
+    classes: usize,
+    per_class: usize,
+    nval: usize,
+    ntest: usize,
+) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    let n = labels.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+    let mut train = Vec::with_capacity(per_class * classes);
+    let mut counts = vec![0usize; classes];
+    let mut rest = Vec::new();
+    for &i in &order {
+        if counts[labels[i]] < per_class {
+            counts[labels[i]] += 1;
+            train.push(i);
+        } else {
+            rest.push(i);
+        }
+    }
+    let nval = nval.min(rest.len());
+    let val = rest[..nval].to_vec();
+    let ntest = ntest.min(rest.len() - nval);
+    let test = rest[nval..nval + ntest].to_vec();
+    (train, val, test)
+}
+
+/// Alias-free weighted sampler over node indices (cumulative distribution +
+/// binary search). Good enough for dataset generation, which is one-time.
+struct WeightedPool {
+    cumulative: Vec<f64>,
+    indices: Option<Vec<usize>>,
+}
+
+impl WeightedPool {
+    fn new(weights: &[f64]) -> Self {
+        Self::build(weights, None)
+    }
+
+    fn with_indices(weights: &[f64], indices: Vec<usize>) -> Self {
+        Self::build(weights, Some(indices))
+    }
+
+    fn build(weights: &[f64], indices: Option<Vec<usize>>) -> Self {
+        assert!(!weights.is_empty());
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0f64;
+        for &w in weights {
+            acc += w.max(0.0);
+            cumulative.push(acc);
+        }
+        Self { cumulative, indices }
+    }
+
+    fn sample(&self, rng: &mut Rng) -> usize {
+        let total = *self.cumulative.last().unwrap();
+        let x = rng.uniform() * total;
+        let pos = self.cumulative.partition_point(|&c| c <= x);
+        let pos = pos.min(self.cumulative.len() - 1);
+        match &self.indices {
+            Some(idx) => idx[pos],
+            None => pos,
+        }
+    }
+}
+
+// ---- dataset registry (scaled-down mirrors of Table 2) --------------------
+
+/// Cora-like: small citation network, 7 classes, strong homophily.
+pub fn cora_like(seed: u64) -> NodeDataset {
+    citation_like(
+        &CitationConfig {
+            name: "cora-like",
+            nodes: 1500,
+            feat_dim: 180,
+            classes: 7,
+            avg_degree: 4.0,
+            homophily: 0.70,
+            degree_alpha: 2.2,
+            topic_size: 9,
+            p_topic: 0.19,
+            p_noise: 0.07,
+            train_per_class: 20,
+            val_size: 300,
+            test_size: 600,
+        },
+        seed,
+    )
+}
+
+/// CiteSeer-like: sparser, weaker homophily, more features — the hardest of
+/// the three small citation sets, as in the paper.
+pub fn citeseer_like(seed: u64) -> NodeDataset {
+    citation_like(
+        &CitationConfig {
+            name: "citeseer-like",
+            nodes: 1650,
+            feat_dim: 220,
+            classes: 6,
+            avg_degree: 2.8,
+            homophily: 0.64,
+            degree_alpha: 2.5,
+            topic_size: 10,
+            p_topic: 0.20,
+            p_noise: 0.07,
+            train_per_class: 20,
+            val_size: 300,
+            test_size: 600,
+        },
+        seed,
+    )
+}
+
+/// PubMed-like: larger, 3 classes, low feature dimension.
+pub fn pubmed_like(seed: u64) -> NodeDataset {
+    citation_like(
+        &CitationConfig {
+            name: "pubmed-like",
+            nodes: 3000,
+            feat_dim: 120,
+            classes: 3,
+            avg_degree: 4.5,
+            homophily: 0.66,
+            degree_alpha: 2.0,
+            topic_size: 12,
+            p_topic: 0.14,
+            p_noise: 0.09,
+            train_per_class: 20,
+            val_size: 400,
+            test_size: 900,
+        },
+        seed,
+    )
+}
+
+/// OGB-Arxiv-like: larger citation graph, many classes, dense split.
+pub fn arxiv_like(seed: u64) -> NodeDataset {
+    citation_like(
+        &CitationConfig {
+            name: "arxiv-like",
+            nodes: 6000,
+            feat_dim: 96,
+            classes: 16,
+            avg_degree: 7.0,
+            homophily: 0.58,
+            degree_alpha: 1.8,
+            topic_size: 4,
+            p_topic: 0.23,
+            p_noise: 0.07,
+            train_per_class: 120,
+            val_size: 800,
+            test_size: 1600,
+        },
+        seed,
+    )
+}
+
+/// Reddit-like: large, dense social graph with heavy degree tail.
+pub fn reddit_like(seed: u64) -> NodeDataset {
+    citation_like(
+        &CitationConfig {
+            name: "reddit-like",
+            nodes: 8000,
+            feat_dim: 80,
+            classes: 12,
+            avg_degree: 24.0,
+            homophily: 0.75,
+            degree_alpha: 1.6,
+            topic_size: 6,
+            p_topic: 0.35,
+            p_noise: 0.05,
+            train_per_class: 150,
+            val_size: 1000,
+            test_size: 2000,
+        },
+        seed,
+    )
+}
+
+/// OGB-Products-like: the largest graph in the suite.
+pub fn products_like(seed: u64) -> NodeDataset {
+    citation_like(
+        &CitationConfig {
+            name: "products-like",
+            nodes: 10_000,
+            feat_dim: 64,
+            classes: 16,
+            avg_degree: 14.0,
+            homophily: 0.60,
+            degree_alpha: 1.7,
+            topic_size: 4,
+            p_topic: 0.26,
+            p_noise: 0.07,
+            train_per_class: 120,
+            val_size: 1000,
+            test_size: 2500,
+        },
+        seed,
+    )
+}
+
+/// IGB-like: many classes, noisy labels ⇒ lower ceiling, as in Table 7.
+pub fn igb_like(seed: u64) -> NodeDataset {
+    let mut ds = citation_like(
+        &CitationConfig {
+            name: "igb-like",
+            nodes: 8000,
+            feat_dim: 128,
+            classes: 19,
+            avg_degree: 12.0,
+            homophily: 0.64,
+            degree_alpha: 1.9,
+            topic_size: 5,
+            p_topic: 0.30,
+            p_noise: 0.06,
+            train_per_class: 150,
+            val_size: 1000,
+            test_size: 2000,
+        },
+        seed,
+    );
+    // Label noise: IGB's automatically-derived labels are noisy, which is
+    // why every method (including FP32) plateaus near 70% in the paper.
+    let mut rng = Rng::seed_from_u64(seed ^ 0x1619);
+    if let NodeTargets::SingleLabel { labels, num_classes } = &mut ds.targets {
+        for l in labels.iter_mut() {
+            if rng.bernoulli(0.18) {
+                *l = rng.gen_range(*num_classes);
+            }
+        }
+    }
+    ds
+}
+
+/// OGB-Proteins-like: multi-label protein function prediction (ROC-AUC).
+pub fn proteins_ogb_like(seed: u64) -> NodeDataset {
+    let base = citation_like(
+        &CitationConfig {
+            name: "ogb-proteins-like",
+            nodes: 4000,
+            feat_dim: 48,
+            classes: 8,
+            avg_degree: 30.0,
+            homophily: 0.75,
+            degree_alpha: 1.7,
+            topic_size: 5,
+            p_topic: 0.5,
+            p_noise: 0.03,
+            train_per_class: 150,
+            val_size: 600,
+            test_size: 1200,
+        },
+        seed,
+    );
+    // Derive 16 binary tasks from the latent classes: task t is "on" for a
+    // random half of the classes with high probability, off otherwise.
+    let mut rng = Rng::seed_from_u64(seed ^ 0x9127);
+    let labels = base.labels().to_vec();
+    let classes = base.num_classes();
+    let tasks = 16;
+    let mut task_on = vec![vec![false; classes]; tasks];
+    for row in task_on.iter_mut() {
+        for v in row.iter_mut() {
+            *v = rng.bernoulli(0.5);
+        }
+    }
+    let targets = Matrix::from_fn(base.num_nodes(), tasks, |i, t| {
+        let p = if task_on[t][labels[i]] { 0.66 } else { 0.34 };
+        if rng.bernoulli(p) {
+            1.0
+        } else {
+            0.0
+        }
+    });
+    NodeDataset { targets: NodeTargets::MultiLabel(targets), ..base }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = cora_like(1);
+        let b = cora_like(1);
+        assert_eq!(a.adj.nnz(), b.adj.nnz());
+        assert_eq!(a.features, b.features);
+        assert_eq!(a.train_idx, b.train_idx);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = cora_like(1);
+        let b = cora_like(2);
+        assert_ne!(a.features, b.features);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_without_self_loops() {
+        let ds = cora_like(3);
+        let t = ds.adj.transpose();
+        assert_eq!(ds.adj, t, "undirected graph must be symmetric");
+        for r in 0..ds.num_nodes() {
+            assert_eq!(ds.adj.get(r, r), 0.0, "no self-loops in raw adjacency");
+        }
+    }
+
+    #[test]
+    fn features_are_row_normalized() {
+        let ds = citeseer_like(4);
+        for r in 0..ds.num_nodes() {
+            let s: f32 = ds.features.row_slice(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn splits_are_disjoint_and_sized() {
+        let ds = cora_like(5);
+        let mut all: Vec<usize> = ds
+            .train_idx
+            .iter()
+            .chain(&ds.val_idx)
+            .chain(&ds.test_idx)
+            .copied()
+            .collect();
+        let total = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), total, "splits overlap");
+        assert_eq!(ds.train_idx.len(), 20 * 7);
+        assert_eq!(ds.val_idx.len(), 300);
+        assert_eq!(ds.test_idx.len(), 600);
+    }
+
+    #[test]
+    fn train_split_is_class_balanced() {
+        let ds = pubmed_like(6);
+        let labels = ds.labels();
+        let mut counts = vec![0usize; ds.num_classes()];
+        for &i in &ds.train_idx {
+            counts[labels[i]] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 20), "counts={counts:?}");
+    }
+
+    #[test]
+    fn degree_distribution_has_heavy_tail() {
+        let ds = arxiv_like(7);
+        let mut degs = ds.adj.row_degrees();
+        degs.sort_unstable();
+        let median = degs[degs.len() / 2];
+        let max = *degs.last().unwrap();
+        assert!(
+            max as f32 > 6.0 * median.max(1) as f32,
+            "expected skewed degrees: median={median}, max={max}"
+        );
+    }
+
+    #[test]
+    fn homophily_is_materialized() {
+        let ds = cora_like(8);
+        let labels = ds.labels();
+        let mut same = 0usize;
+        let mut total = 0usize;
+        for r in 0..ds.num_nodes() {
+            for (c, _) in ds.adj.row(r) {
+                total += 1;
+                if labels[r] == labels[c] {
+                    same += 1;
+                }
+            }
+        }
+        let h = same as f64 / total as f64;
+        assert!(h > 0.6, "edge homophily {h} too low");
+    }
+
+    #[test]
+    fn multilabel_targets_are_binary() {
+        let ds = proteins_ogb_like(9);
+        if let NodeTargets::MultiLabel(t) = &ds.targets {
+            assert_eq!(t.cols(), 16);
+            assert!(t.data().iter().all(|&v| v == 0.0 || v == 1.0));
+            let mean: f32 = t.data().iter().sum::<f32>() / t.numel() as f32;
+            assert!(mean > 0.2 && mean < 0.8, "task balance {mean}");
+        } else {
+            panic!("expected multi-label targets");
+        }
+    }
+
+    #[test]
+    fn relative_scale_ordering_matches_table2() {
+        // Spot-check that the suite preserves the paper's size ordering.
+        let cora = cora_like(1);
+        let pubmed = pubmed_like(1);
+        let products = products_like(1);
+        assert!(cora.num_nodes() < pubmed.num_nodes());
+        assert!(pubmed.num_nodes() < products.num_nodes());
+        let reddit = reddit_like(1);
+        let avg_deg =
+            |d: &NodeDataset| d.num_edges() as f32 / d.num_nodes() as f32;
+        assert!(avg_deg(&reddit) > 3.0 * avg_deg(&cora), "reddit must be much denser");
+    }
+}

@@ -1,0 +1,91 @@
+//! Neighbourhood sampling (GraphSAGE): keeping at most `k` random
+//! in-neighbours per node bounds in-degrees, which §5.3.2 identifies as the
+//! reason MixQ works well on GraphSAGE without structure-aware quantizers —
+//! bounded in-degree bounds the aggregated-value magnitude spread that
+//! causes quantization error.
+
+use mixq_sparse::{CooEntry, CsrMatrix};
+use mixq_tensor::Rng;
+
+/// Returns a copy of `adj` where every row keeps at most `k` uniformly
+/// sampled entries (edge weights preserved).
+pub fn sample_neighbors(adj: &CsrMatrix, k: usize, rng: &mut Rng) -> CsrMatrix {
+    assert!(k > 0, "sample_neighbors needs k > 0");
+    let mut entries = Vec::with_capacity(adj.nnz().min(adj.rows() * k));
+    for r in 0..adj.rows() {
+        let row: Vec<(usize, f32)> = adj.row(r).collect();
+        if row.len() <= k {
+            for (c, v) in row {
+                entries.push(CooEntry { row: r, col: c, val: v });
+            }
+        } else {
+            for &pick in &rng.sample_indices(row.len(), k) {
+                let (c, v) = row[pick];
+                entries.push(CooEntry { row: r, col: c, val: v });
+            }
+        }
+    }
+    CsrMatrix::from_coo(adj.rows(), adj.cols(), entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_row(n: usize) -> CsrMatrix {
+        let entries = (0..n)
+            .flat_map(|r| (0..n).filter(move |&c| c != r).map(move |c| CooEntry {
+                row: r,
+                col: c,
+                val: (r * n + c) as f32,
+            }))
+            .collect();
+        CsrMatrix::from_coo(n, n, entries)
+    }
+
+    #[test]
+    fn caps_every_row_at_k() {
+        let adj = dense_row(12);
+        let mut rng = Rng::seed_from_u64(1);
+        let s = sample_neighbors(&adj, 4, &mut rng);
+        assert!(s.row_degrees().iter().all(|&d| d == 4));
+    }
+
+    #[test]
+    fn keeps_small_rows_intact_with_weights() {
+        let adj = CsrMatrix::from_coo(
+            3,
+            3,
+            vec![
+                CooEntry { row: 0, col: 1, val: 2.5 },
+                CooEntry { row: 0, col: 2, val: -1.0 },
+            ],
+        );
+        let mut rng = Rng::seed_from_u64(2);
+        let s = sample_neighbors(&adj, 5, &mut rng);
+        assert_eq!(s, adj);
+    }
+
+    #[test]
+    fn sampled_edges_are_a_subset() {
+        let adj = dense_row(10);
+        let mut rng = Rng::seed_from_u64(3);
+        let s = sample_neighbors(&adj, 3, &mut rng);
+        for r in 0..10 {
+            for (c, v) in s.row(r) {
+                assert_eq!(adj.get(r, c), v, "sampled edge must exist in the original");
+            }
+        }
+    }
+
+    #[test]
+    fn reduces_max_degree_skew() {
+        // A star graph: hub in-degree n−1 becomes ≤ k.
+        let n = 50;
+        let entries = (1..n).map(|c| CooEntry { row: 0, col: c, val: 1.0 }).collect();
+        let adj = CsrMatrix::from_coo(n, n, entries);
+        let mut rng = Rng::seed_from_u64(4);
+        let s = sample_neighbors(&adj, 5, &mut rng);
+        assert_eq!(s.row_degrees()[0], 5);
+    }
+}

@@ -1,0 +1,89 @@
+//! Cross-validation splits for graph-level tasks.
+
+use mixq_tensor::Rng;
+
+/// Stratified k-fold split: returns `k` `(train, test)` index pairs whose
+/// test folds partition `0..labels.len()` and preserve class proportions.
+pub fn stratified_kfold(
+    rng: &mut Rng,
+    labels: &[usize],
+    num_classes: usize,
+    k: usize,
+) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "k-fold needs k ≥ 2");
+    // Shuffle within each class, then deal class members round-robin over
+    // the folds so every fold sees every class.
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
+    for (i, &l) in labels.iter().enumerate() {
+        per_class[l].push(i);
+    }
+    let mut fold_of = vec![0usize; labels.len()];
+    for members in per_class.iter_mut() {
+        rng.shuffle(members);
+        for (j, &i) in members.iter().enumerate() {
+            fold_of[i] = j % k;
+        }
+    }
+    (0..k)
+        .map(|f| {
+            let mut train = Vec::new();
+            let mut test = Vec::new();
+            for (i, &fold) in fold_of.iter().enumerate() {
+                if fold == f {
+                    test.push(i);
+                } else {
+                    train.push(i);
+                }
+            }
+            (train, test)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_partition_the_dataset() {
+        let labels: Vec<usize> = (0..100).map(|i| i % 3).collect();
+        let mut rng = Rng::seed_from_u64(1);
+        let folds = stratified_kfold(&mut rng, &labels, 3, 10);
+        assert_eq!(folds.len(), 10);
+        let mut all_test: Vec<usize> = folds.iter().flat_map(|(_, t)| t.clone()).collect();
+        all_test.sort_unstable();
+        assert_eq!(all_test, (0..100).collect::<Vec<_>>());
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 100);
+            for t in test {
+                assert!(!train.contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn folds_are_stratified() {
+        let labels: Vec<usize> = (0..120).map(|i| i % 4).collect();
+        let mut rng = Rng::seed_from_u64(2);
+        for (_, test) in stratified_kfold(&mut rng, &labels, 4, 5) {
+            let mut counts = vec![0usize; 4];
+            for &i in &test {
+                counts[labels[i]] += 1;
+            }
+            for &c in &counts {
+                assert_eq!(c, 6, "each fold must hold 6 of each class, got {counts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn unbalanced_classes_spread_over_folds() {
+        let mut labels = vec![0usize; 37];
+        labels.extend(vec![1usize; 13]);
+        let mut rng = Rng::seed_from_u64(3);
+        for (_, test) in stratified_kfold(&mut rng, &labels, 2, 5) {
+            let minority = test.iter().filter(|&&i| labels[i] == 1).count();
+            assert!((2..=3).contains(&minority), "minority count {minority}");
+        }
+    }
+}

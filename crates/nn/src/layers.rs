@@ -1,0 +1,262 @@
+//! Dense building blocks: linear layers, MLPs and batch normalization.
+
+use mixq_tensor::{Rng, Var};
+
+use crate::param::{Fwd, ParamId, ParamSet};
+
+/// Fully-connected layer `y = xW (+ b)`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    pub w: ParamId,
+    pub b: Option<ParamId>,
+    pub in_dim: usize,
+    pub out_dim: usize,
+}
+
+impl Linear {
+    pub fn new(ps: &mut ParamSet, in_dim: usize, out_dim: usize, rng: &mut Rng) -> Self {
+        Self {
+            w: ps.add_glorot(in_dim, out_dim, rng),
+            b: Some(ps.add_zeros(1, out_dim)),
+            in_dim,
+            out_dim,
+        }
+    }
+
+    pub fn new_no_bias(ps: &mut ParamSet, in_dim: usize, out_dim: usize, rng: &mut Rng) -> Self {
+        Self { w: ps.add_glorot(in_dim, out_dim, rng), b: None, in_dim, out_dim }
+    }
+
+    pub fn forward(&self, f: &mut Fwd, x: Var) -> Var {
+        let w = f.bind(self.w);
+        let y = f.tape.matmul(x, w);
+        match self.b {
+            Some(b) => {
+                let bv = f.bind(b);
+                f.tape.add_bias(y, bv)
+            }
+            None => y,
+        }
+    }
+
+    /// Multiply–accumulate count for an input with `rows` rows, used by the
+    /// BitOPs cost model.
+    pub fn macs(&self, rows: usize) -> u64 {
+        rows as u64 * self.in_dim as u64 * self.out_dim as u64
+    }
+}
+
+/// Batch normalization over rows with running statistics for inference.
+#[derive(Debug, Clone)]
+pub struct BatchNorm1d {
+    pub gamma: ParamId,
+    pub beta: ParamId,
+    pub running_mean: Vec<f32>,
+    pub running_var: Vec<f32>,
+    pub momentum: f32,
+    pub eps: f32,
+}
+
+impl BatchNorm1d {
+    pub fn new(ps: &mut ParamSet, dim: usize) -> Self {
+        Self {
+            gamma: ps.add(mixq_tensor::Matrix::ones(1, dim)),
+            beta: ps.add_zeros(1, dim),
+            running_mean: vec![0.0; dim],
+            running_var: vec![1.0; dim],
+            momentum: 0.1,
+            eps: 1e-5,
+        }
+    }
+
+    pub fn forward(&mut self, f: &mut Fwd, x: Var) -> Var {
+        if f.training {
+            let gamma = f.bind(self.gamma);
+            let beta = f.bind(self.beta);
+            let out = f.tape.batch_norm(x, gamma, beta, self.eps);
+            for (rm, &bm) in self.running_mean.iter_mut().zip(out.mean.iter()) {
+                *rm = (1.0 - self.momentum) * *rm + self.momentum * bm;
+            }
+            for (rv, &bv) in self.running_var.iter_mut().zip(out.var.iter()) {
+                *rv = (1.0 - self.momentum) * *rv + self.momentum * bv;
+            }
+            out.y
+        } else {
+            // Inference: constant affine with the running statistics.
+            let g = f.ps.value(self.gamma).data().to_vec();
+            let b = f.ps.value(self.beta).data().to_vec();
+            let scale: Vec<f32> = g
+                .iter()
+                .zip(self.running_var.iter())
+                .map(|(&g, &v)| g / (v + self.eps).sqrt())
+                .collect();
+            let shift: Vec<f32> = b
+                .iter()
+                .zip(self.running_mean.iter())
+                .zip(scale.iter())
+                .map(|((&b, &m), &s)| b - m * s)
+                .collect();
+            f.tape.affine_cols(x, scale, shift)
+        }
+    }
+}
+
+/// A stack of linear layers with ReLU (and optional batch norm) in between —
+/// the update network of GIN.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    pub layers: Vec<Linear>,
+    pub norms: Vec<Option<BatchNorm1d>>,
+}
+
+impl Mlp {
+    /// `dims = [in, h1, …, out]`; `batch_norm` inserts BN after every hidden
+    /// activation (GIN convention).
+    pub fn new(ps: &mut ParamSet, dims: &[usize], batch_norm: bool, rng: &mut Rng) -> Self {
+        assert!(dims.len() >= 2);
+        let mut layers = Vec::new();
+        let mut norms = Vec::new();
+        for w in dims.windows(2) {
+            layers.push(Linear::new(ps, w[0], w[1], rng));
+            norms.push(None);
+        }
+        if batch_norm {
+            for (i, w) in dims.windows(2).enumerate() {
+                if i + 1 < layers.len() {
+                    norms[i] = Some(BatchNorm1d::new(ps, w[1]));
+                }
+            }
+        }
+        Self { layers, norms }
+    }
+
+    pub fn forward(&mut self, f: &mut Fwd, mut x: Var) -> Var {
+        let last = self.layers.len() - 1;
+        for i in 0..self.layers.len() {
+            x = self.layers[i].forward(f, x);
+            if i < last {
+                if let Some(bn) = self.norms[i].as_mut() {
+                    x = bn.forward(f, x);
+                }
+                x = f.tape.relu(x);
+            }
+        }
+        x
+    }
+
+    pub fn macs(&self, rows: usize) -> u64 {
+        self.layers.iter().map(|l| l.macs(rows)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Binding;
+    use mixq_tensor::{Matrix, Rng, Tape};
+
+    fn fwd_env() -> (ParamSet, Tape, Binding, Rng) {
+        (ParamSet::new(), Tape::new(), Binding::new(), Rng::seed_from_u64(0))
+    }
+
+    #[test]
+    fn linear_forward_shape_and_bias() {
+        let (mut ps, mut tape, mut binding, mut rng) = fwd_env();
+        let lin = Linear::new(&mut ps, 4, 3, &mut rng);
+        // Set a known bias.
+        ps.value_mut(lin.b.unwrap()).data_mut().copy_from_slice(&[1.0, 2.0, 3.0]);
+        let mut f = Fwd { tape: &mut tape, ps: &ps, binding: &mut binding, rng: &mut rng, training: true };
+        let x = f.tape.constant(Matrix::zeros(5, 4));
+        let y = lin.forward(&mut f, x);
+        assert_eq!(f.tape.value(y).shape(), (5, 3));
+        // Zero input ⇒ output equals bias on every row.
+        for r in 0..5 {
+            assert_eq!(f.tape.value(y).row_slice(r), &[1.0, 2.0, 3.0]);
+        }
+        assert_eq!(lin.macs(5), 5 * 4 * 3);
+    }
+
+    #[test]
+    fn mlp_trains_xor() {
+        // Classic nonlinear sanity check: an MLP must fit XOR.
+        let mut ps = ParamSet::new();
+        let mut rng = Rng::seed_from_u64(3);
+        let mut mlp = Mlp::new(&mut ps, &[2, 8, 2], false, &mut rng);
+        let x = Matrix::from_vec(4, 2, vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+        let rows = vec![0, 1, 2, 3];
+        let targets = vec![0usize, 1, 1, 0];
+        let mut opt = crate::optim::Adam::new(0.03);
+        let mut last_loss = f32::INFINITY;
+        for _ in 0..400 {
+            ps.zero_grads();
+            let mut tape = Tape::new();
+            let mut binding = Binding::new();
+            let mut f = Fwd {
+                tape: &mut tape,
+                ps: &ps,
+                binding: &mut binding,
+                rng: &mut rng,
+                training: true,
+            };
+            let xv = f.tape.constant(x.clone());
+            let logits = mlp.forward(&mut f, xv);
+            let lp = f.tape.log_softmax(logits);
+            let loss = f.tape.nll_masked(lp, &rows, &targets);
+            last_loss = tape.value(loss).item();
+            tape.backward(loss);
+            ps.pull_grads(&binding, &tape);
+            opt.step(&mut ps);
+        }
+        assert!(last_loss < 0.1, "XOR loss stuck at {last_loss}");
+    }
+
+    #[test]
+    fn batchnorm_running_stats_track_batches() {
+        let mut ps = ParamSet::new();
+        let mut rng = Rng::seed_from_u64(5);
+        let mut bn = BatchNorm1d::new(&mut ps, 2);
+        // Feed batches with mean ≈ (3, −1) repeatedly.
+        for _ in 0..60 {
+            let x = Matrix::from_fn(32, 2, |_, c| {
+                let base = if c == 0 { 3.0 } else { -1.0 };
+                base + rng.normal() * 0.5
+            });
+            let mut tape = Tape::new();
+            let mut binding = Binding::new();
+            let mut f = Fwd {
+                tape: &mut tape,
+                ps: &ps,
+                binding: &mut binding,
+                rng: &mut rng,
+                training: true,
+            };
+            let xv = f.tape.constant(x);
+            let _ = bn.forward(&mut f, xv);
+        }
+        assert!((bn.running_mean[0] - 3.0).abs() < 0.3, "{:?}", bn.running_mean);
+        assert!((bn.running_mean[1] + 1.0).abs() < 0.3);
+        assert!((bn.running_var[0] - 0.25).abs() < 0.15, "{:?}", bn.running_var);
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let mut ps = ParamSet::new();
+        let mut rng = Rng::seed_from_u64(6);
+        let mut bn = BatchNorm1d::new(&mut ps, 1);
+        bn.running_mean = vec![2.0];
+        bn.running_var = vec![4.0];
+        let mut tape = Tape::new();
+        let mut binding = Binding::new();
+        let mut f = Fwd {
+            tape: &mut tape,
+            ps: &ps,
+            binding: &mut binding,
+            rng: &mut rng,
+            training: false,
+        };
+        let x = f.tape.constant(Matrix::from_vec(1, 1, vec![4.0]));
+        let y = bn.forward(&mut f, x);
+        // (4−2)/√(4+eps) ≈ 1.
+        assert!((tape.value(y).item() - 1.0).abs() < 1e-3);
+    }
+}

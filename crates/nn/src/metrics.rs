@@ -1,0 +1,264 @@
+//! Evaluation metrics: classification accuracy, ROC-AUC (for multi-label
+//! tasks like OGB-Proteins), and the correlation coefficients the paper
+//! reports in Figures 1 and 8.
+
+use mixq_tensor::Matrix;
+
+/// Fraction of rows in `idx` whose argmax logit equals the label.
+pub fn accuracy(logits: &Matrix, labels: &[usize], idx: &[usize]) -> f64 {
+    assert!(!idx.is_empty());
+    let mut correct = 0usize;
+    for &i in idx {
+        let row = logits.row_slice(i);
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(j, _)| j)
+            .unwrap();
+        if pred == labels[i] {
+            correct += 1;
+        }
+    }
+    correct as f64 / idx.len() as f64
+}
+
+/// Area under the ROC curve for one score/label column, via the rank
+/// statistic (Mann–Whitney U) with midrank tie handling. Returns 0.5 when a
+/// class is absent.
+pub fn roc_auc(scores: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    let n_pos = labels.iter().filter(|&&l| l > 0.5).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap());
+    // Midranks over ties.
+    let mut ranks = vec![0f64; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = midrank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = labels
+        .iter()
+        .zip(ranks.iter())
+        .filter(|(&l, _)| l > 0.5)
+        .map(|(_, &r)| r)
+        .sum();
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos * n_neg) as f64
+}
+
+/// Mean ROC-AUC over all task columns, restricted to rows in `idx`.
+pub fn roc_auc_mean(scores: &Matrix, targets: &Matrix, idx: &[usize]) -> f64 {
+    assert_eq!(scores.shape(), targets.shape());
+    let t = scores.cols();
+    let mut total = 0f64;
+    for c in 0..t {
+        let s: Vec<f32> = idx.iter().map(|&i| scores.get(i, c)).collect();
+        let l: Vec<f32> = idx.iter().map(|&i| targets.get(i, c)).collect();
+        total += roc_auc(&s, &l);
+    }
+    total / t as f64
+}
+
+/// Pearson correlation coefficient.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut num = 0f64;
+    let mut dx = 0f64;
+    let mut dy = 0f64;
+    for (&x, &y) in xs.iter().zip(ys.iter()) {
+        num += (x - mx) * (y - my);
+        dx += (x - mx) * (x - mx);
+        dy += (y - my) * (y - my);
+    }
+    if dx == 0.0 || dy == 0.0 {
+        return 0.0;
+    }
+    num / (dx * dy).sqrt()
+}
+
+/// Spearman rank correlation (Pearson over midranks).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    pearson(&midranks(xs), &midranks(ys))
+}
+
+fn midranks(xs: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap());
+    let mut ranks = vec![0f64; xs.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = midrank;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Mean and (population) standard deviation of a sample — the ±σ the
+/// paper's tables report.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    assert!(!xs.is_empty());
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let logits = Matrix::from_vec(3, 2, vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]);
+        let labels = vec![0usize, 1, 1];
+        assert_eq!(accuracy(&logits, &labels, &[0, 1, 2]), 2.0 / 3.0);
+        assert_eq!(accuracy(&logits, &labels, &[0, 1]), 1.0);
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let scores = vec![0.1, 0.2, 0.8, 0.9];
+        let labels = vec![0.0, 0.0, 1.0, 1.0];
+        assert!((roc_auc(&scores, &labels) - 1.0).abs() < 1e-9);
+        let inv = vec![1.0, 1.0, 0.0, 0.0];
+        assert!((roc_auc(&scores, &inv) - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        let scores = vec![0.5; 10];
+        let labels: Vec<f32> = (0..10).map(|i| (i % 2) as f32).collect();
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-9, "all-tied scores give 0.5");
+    }
+
+    #[test]
+    fn auc_degenerate_labels() {
+        assert_eq!(roc_auc(&[0.1, 0.9], &[1.0, 1.0]), 0.5);
+        assert_eq!(roc_auc(&[0.1, 0.9], &[0.0, 0.0]), 0.5);
+    }
+
+    #[test]
+    fn pearson_exact_linear() {
+        let xs = vec![1.0, 2.0, 3.0, 4.0];
+        let ys = vec![2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear() {
+        let xs = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|&x: &f64| x.exp()).collect();
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12, "monotone ⇒ ρ = 1");
+        assert!(pearson(&xs, &ys) < 1.0);
+    }
+
+    #[test]
+    fn mean_std_known() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+    }
+}
+
+/// Confusion matrix: `m[actual][predicted]` counts over the rows in `idx`.
+pub fn confusion_matrix(
+    logits: &Matrix,
+    labels: &[usize],
+    idx: &[usize],
+    num_classes: usize,
+) -> Vec<Vec<usize>> {
+    let mut m = vec![vec![0usize; num_classes]; num_classes];
+    for &i in idx {
+        let row = logits.row_slice(i);
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(j, _)| j)
+            .unwrap();
+        m[labels[i]][pred] += 1;
+    }
+    m
+}
+
+/// Macro-averaged F1 over classes (classes absent from both predictions and
+/// labels contribute 0).
+pub fn macro_f1(logits: &Matrix, labels: &[usize], idx: &[usize], num_classes: usize) -> f64 {
+    let m = confusion_matrix(logits, labels, idx, num_classes);
+    let mut total = 0f64;
+    for (c, row) in m.iter().enumerate() {
+        let tp = row[c] as f64;
+        let fp: f64 = (0..num_classes).filter(|&a| a != c).map(|a| m[a][c] as f64).sum();
+        let fneg: f64 = (0..num_classes).filter(|&p| p != c).map(|p| row[p] as f64).sum();
+        if tp + fp + fneg > 0.0 {
+            total += 2.0 * tp / (2.0 * tp + fp + fneg);
+        }
+    }
+    total / num_classes as f64
+}
+
+#[cfg(test)]
+mod f1_tests {
+    use super::*;
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let logits = Matrix::from_vec(4, 2, vec![0.9, 0.1, 0.1, 0.9, 0.8, 0.2, 0.3, 0.7]);
+        let labels = vec![0usize, 1, 1, 1];
+        let m = confusion_matrix(&logits, &labels, &[0, 1, 2, 3], 2);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[1][1], 2);
+        assert_eq!(m[1][0], 1);
+        assert_eq!(m[0][1], 0);
+    }
+
+    #[test]
+    fn perfect_predictions_give_f1_one() {
+        let logits = Matrix::from_vec(3, 3, vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0]);
+        let labels = vec![0usize, 1, 2];
+        assert!((macro_f1(&logits, &labels, &[0, 1, 2], 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_f1_penalizes_minority_errors_more_than_accuracy() {
+        // 9 correct majority, 1 wrong minority: accuracy 0.9, macro-F1 < 0.9.
+        let mut data = Vec::new();
+        for _ in 0..9 {
+            data.extend([1.0f32, 0.0]);
+        }
+        data.extend([1.0f32, 0.0]); // minority sample predicted as class 0
+        let logits = Matrix::from_vec(10, 2, data);
+        let mut labels = vec![0usize; 9];
+        labels.push(1);
+        let idx: Vec<usize> = (0..10).collect();
+        let acc = accuracy(&logits, &labels, &idx);
+        let f1 = macro_f1(&logits, &labels, &idx, 2);
+        assert!((acc - 0.9).abs() < 1e-12);
+        assert!(f1 < acc, "macro-F1 {f1} must fall below accuracy {acc}");
+    }
+}

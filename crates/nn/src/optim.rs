@@ -1,0 +1,236 @@
+//! Gradient-descent optimizers over a [`ParamSet`].
+
+use crate::param::ParamSet;
+
+/// Adam (Kingma & Ba) with optional decoupled weight decay.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    pub weight_decay: f32,
+    t: u64,
+}
+
+impl Adam {
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0 }
+    }
+
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// One update step using the gradients currently stored in `ps`.
+    pub fn step(&mut self, ps: &mut ParamSet) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for id in ps.ids().collect::<Vec<_>>() {
+            let p = ps.param_mut(id);
+            for i in 0..p.value.numel() {
+                let g = p.grad.data()[i] + self.weight_decay * p.value.data()[i];
+                let m = self.beta1 * p.m.data()[i] + (1.0 - self.beta1) * g;
+                let v = self.beta2 * p.v.data()[i] + (1.0 - self.beta2) * g * g;
+                p.m.data_mut()[i] = m;
+                p.v.data_mut()[i] = v;
+                let mhat = m / bc1;
+                let vhat = v / bc2;
+                p.value.data_mut()[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// Plain SGD with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    pub lr: f32,
+    pub momentum: f32,
+}
+
+impl Sgd {
+    pub fn new(lr: f32) -> Self {
+        Self { lr, momentum: 0.0 }
+    }
+
+    pub fn step(&mut self, ps: &mut ParamSet) {
+        for id in ps.ids().collect::<Vec<_>>() {
+            let p = ps.param_mut(id);
+            for i in 0..p.value.numel() {
+                let g = p.grad.data()[i];
+                // Reuse the Adam `m` buffer as the momentum buffer.
+                let m = self.momentum * p.m.data()[i] + g;
+                p.m.data_mut()[i] = m;
+                p.value.data_mut()[i] -= self.lr * m;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixq_tensor::{Matrix, Tape};
+
+    use crate::param::Binding;
+
+    /// Minimizes f(w) = Σ (w − target)² and checks convergence.
+    fn converges(optimizer_step: &mut dyn FnMut(&mut ParamSet)) {
+        let mut ps = ParamSet::new();
+        let target = Matrix::from_vec(1, 3, vec![1.0, -2.0, 0.5]);
+        let id = ps.add(Matrix::zeros(1, 3));
+        for _ in 0..400 {
+            ps.zero_grads();
+            let mut tape = Tape::new();
+            let mut binding = Binding::new();
+            let w = binding.bind(&mut tape, &ps, id);
+            let t = tape.constant(target.clone());
+            let d = tape.sub(w, t);
+            let sq = tape.mul(d, d);
+            let loss = tape.sum_all(sq);
+            tape.backward(loss);
+            ps.pull_grads(&binding, &tape);
+            optimizer_step(&mut ps);
+        }
+        assert!(
+            ps.value(id).max_abs_diff(&target) < 1e-2,
+            "did not converge: {:?}",
+            ps.value(id)
+        );
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.05);
+        converges(&mut |ps| opt.step(ps));
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.05);
+        converges(&mut |ps| opt.step(ps));
+    }
+
+    #[test]
+    fn sgd_with_momentum_converges() {
+        let mut opt = Sgd { lr: 0.02, momentum: 0.9 };
+        converges(&mut |ps| opt.step(ps));
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut ps = ParamSet::new();
+        let id = ps.add(Matrix::from_vec(1, 1, vec![5.0]));
+        let mut opt = Adam::new(0.1).with_weight_decay(1.0);
+        for _ in 0..200 {
+            ps.zero_grads(); // gradient stays zero; only decay acts
+            opt.step(&mut ps);
+        }
+        assert!(ps.value(id).item().abs() < 0.5);
+    }
+}
+
+/// Learning-rate schedules, applied by setting `opt.lr` each epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Multiply by `gamma` every `every` epochs.
+    Step { every: usize, gamma: f32 },
+    /// Cosine annealing from the base LR to `min_lr` over `total` epochs.
+    Cosine { total: usize, min_lr: f32 },
+    /// Linear warm-up over `warmup` epochs, then constant.
+    Warmup { warmup: usize },
+}
+
+impl LrSchedule {
+    /// Learning rate at `epoch` given the base rate.
+    pub fn at(&self, base: f32, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => base,
+            LrSchedule::Step { every, gamma } => {
+                base * gamma.powi((epoch / every.max(1)) as i32)
+            }
+            LrSchedule::Cosine { total, min_lr } => {
+                let t = (epoch as f32 / total.max(1) as f32).min(1.0);
+                min_lr + 0.5 * (base - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+            LrSchedule::Warmup { warmup } => {
+                if warmup == 0 || epoch >= warmup {
+                    base
+                } else {
+                    base * (epoch + 1) as f32 / warmup as f32
+                }
+            }
+        }
+    }
+}
+
+/// Scales all gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clipping norm.
+pub fn clip_grad_norm(ps: &mut ParamSet, max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0);
+    let mut sq = 0f64;
+    for id in ps.all_ids() {
+        for &g in ps.grad(id).data() {
+            sq += (g as f64) * (g as f64);
+        }
+    }
+    let norm = sq.sqrt() as f32;
+    if norm > max_norm {
+        let scale = max_norm / norm;
+        for id in ps.all_ids() {
+            ps.param_mut(id).grad.scale_assign(scale);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod schedule_tests {
+    use super::*;
+    use mixq_tensor::Matrix;
+
+    #[test]
+    fn schedules_produce_expected_rates() {
+        let s = LrSchedule::Step { every: 10, gamma: 0.5 };
+        assert_eq!(s.at(1.0, 0), 1.0);
+        assert_eq!(s.at(1.0, 10), 0.5);
+        assert_eq!(s.at(1.0, 25), 0.25);
+
+        let c = LrSchedule::Cosine { total: 100, min_lr: 0.0 };
+        assert!((c.at(1.0, 0) - 1.0).abs() < 1e-6);
+        assert!((c.at(1.0, 50) - 0.5).abs() < 1e-6);
+        assert!(c.at(1.0, 100) < 1e-6);
+        assert!(c.at(1.0, 500) < 1e-6, "clamps past the horizon");
+
+        let w = LrSchedule::Warmup { warmup: 4 };
+        assert_eq!(w.at(1.0, 0), 0.25);
+        assert_eq!(w.at(1.0, 3), 1.0);
+        assert_eq!(w.at(1.0, 10), 1.0);
+        assert_eq!(LrSchedule::Constant.at(0.3, 77), 0.3);
+    }
+
+    #[test]
+    fn clipping_bounds_global_norm() {
+        let mut ps = ParamSet::new();
+        let a = ps.add(Matrix::zeros(1, 2));
+        let b = ps.add(Matrix::zeros(1, 1));
+        ps.param_mut(a).grad.data_mut().copy_from_slice(&[3.0, 4.0]);
+        ps.param_mut(b).grad.data_mut().copy_from_slice(&[12.0]);
+        // Global norm = sqrt(9 + 16 + 144) = 13.
+        let norm = clip_grad_norm(&mut ps, 1.0);
+        assert!((norm - 13.0).abs() < 1e-5);
+        let mut sq = 0f32;
+        for id in ps.all_ids() {
+            sq += ps.grad(id).data().iter().map(|g| g * g).sum::<f32>();
+        }
+        assert!((sq.sqrt() - 1.0).abs() < 1e-5);
+        // Below the bound: untouched.
+        let norm2 = clip_grad_norm(&mut ps, 10.0);
+        assert!((norm2 - 1.0).abs() < 1e-5);
+    }
+}

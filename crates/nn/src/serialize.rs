@@ -1,0 +1,141 @@
+//! Plain-text model checkpoints (no external dependencies): saves and
+//! restores every parameter tensor of a [`ParamSet`] so trained models and
+//! searched assignments survive process restarts.
+//!
+//! Format (line-oriented, `f32` round-trips via exact decimal):
+//!
+//! ```text
+//! mixq-params v1
+//! <num_params>
+//! <rows> <cols>
+//! <v0> <v1> …
+//! …
+//! ```
+
+use std::fmt::Write as _;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use mixq_tensor::Matrix;
+
+use crate::param::ParamSet;
+
+/// Serializes all parameter values (not optimizer state) to a string.
+pub fn params_to_string(ps: &ParamSet) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "mixq-params v1");
+    let _ = writeln!(out, "{}", ps.len());
+    for id in ps.all_ids() {
+        let m = ps.value(id);
+        let _ = writeln!(out, "{} {}", m.rows(), m.cols());
+        let mut first = true;
+        for &v in m.data() {
+            if !first {
+                out.push(' ');
+            }
+            // {:?} prints the shortest decimal that round-trips the f32.
+            let _ = write!(out, "{v:?}");
+            first = false;
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a checkpoint produced by [`params_to_string`].
+pub fn params_from_string(s: &str) -> Result<ParamSet, String> {
+    let mut lines = s.lines();
+    let header = lines.next().ok_or("empty checkpoint")?;
+    if header != "mixq-params v1" {
+        return Err(format!("unsupported checkpoint header: {header}"));
+    }
+    let count: usize = lines
+        .next()
+        .ok_or("missing parameter count")?
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad parameter count: {e}"))?;
+    let mut ps = ParamSet::new();
+    for i in 0..count {
+        let shape = lines.next().ok_or_else(|| format!("missing shape of param {i}"))?;
+        let mut it = shape.split_whitespace();
+        let rows: usize = it
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("bad rows of param {i}"))?;
+        let cols: usize = it
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("bad cols of param {i}"))?;
+        let data_line = lines.next().ok_or_else(|| format!("missing data of param {i}"))?;
+        let data: Vec<f32> = data_line
+            .split_whitespace()
+            .map(|v| v.parse::<f32>().map_err(|e| format!("bad value in param {i}: {e}")))
+            .collect::<Result<_, _>>()?;
+        if data.len() != rows * cols {
+            return Err(format!(
+                "param {i}: expected {} values, found {}",
+                rows * cols,
+                data.len()
+            ));
+        }
+        ps.add(Matrix::from_vec(rows, cols, data));
+    }
+    Ok(ps)
+}
+
+/// Writes a checkpoint file.
+pub fn save_params(ps: &ParamSet, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(params_to_string(ps).as_bytes())
+}
+
+/// Reads a checkpoint file.
+pub fn load_params(path: impl AsRef<Path>) -> io::Result<ParamSet> {
+    let mut s = String::new();
+    std::fs::File::open(path)?.read_to_string(&mut s)?;
+    params_from_string(&s).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixq_tensor::Rng;
+
+    #[test]
+    fn round_trips_exactly() {
+        let mut ps = ParamSet::new();
+        let mut rng = Rng::seed_from_u64(1);
+        ps.add_glorot(3, 5, &mut rng);
+        ps.add(Matrix::scalar(-1.5e-7));
+        ps.add(Matrix::from_vec(1, 3, vec![f32::MIN_POSITIVE, 0.1 + 0.2, -0.0]));
+        let text = params_to_string(&ps);
+        let back = params_from_string(&text).unwrap();
+        assert_eq!(back.len(), ps.len());
+        for (a, b) in ps.all_ids().into_iter().zip(back.all_ids()) {
+            assert_eq!(ps.value(a).shape(), back.value(b).shape());
+            for (x, y) in ps.value(a).data().iter().zip(back.value(b).data()) {
+                assert!(x.to_bits() == y.to_bits(), "f32 {x:?} did not round-trip");
+            }
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut ps = ParamSet::new();
+        ps.add(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let path = std::env::temp_dir().join("mixq_ckpt_test.txt");
+        save_params(&ps, &path).unwrap();
+        let back = load_params(&path).unwrap();
+        assert_eq!(back.len(), 1);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn rejects_corrupt_checkpoints() {
+        assert!(params_from_string("").is_err());
+        assert!(params_from_string("wrong header\n1\n").is_err());
+        assert!(params_from_string("mixq-params v1\n1\n2 2\n1.0 2.0 3.0\n").is_err());
+        assert!(params_from_string("mixq-params v1\n1\n2 2\n1.0 2.0 3.0 oops\n").is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! Sparse matrix substrate for MixQ-GNN.
+//!
+//! Graph neural networks spend most of their time in sparse-dense matrix
+//! products between the (normalized) adjacency matrix and the node feature
+//! matrix. This crate provides the CSR containers and kernels that the rest
+//! of the workspace builds on:
+//!
+//! * [`CsrMatrix`] — compressed sparse row storage over `f32` values,
+//!   built from COO triplets, with transpose, degree and normalization
+//!   helpers.
+//! * [`CsrMatrix::spmm`] — the float sparse × dense product `Y = A · X`.
+//! * [`QuantCsr`] and [`spmm_int`] — integer CSR values and the integer
+//!   sparse × dense product with `i64` accumulation, used by the quantized
+//!   message-passing path of Theorem 1.
+//!
+//! All kernels operate on raw row-major slices (`&[f32]`, `&[i32]`) plus
+//! explicit dimensions so that this crate stays independent of the dense
+//! tensor crate that sits above it.
+
+mod csr;
+mod norm;
+mod qcsr;
+
+pub use csr::{CooEntry, CsrMatrix};
+pub use norm::{gcn_normalize, row_normalize, sym_laplacian};
+pub use qcsr::{spmm_int, QuantCsr};

@@ -1,0 +1,137 @@
+//! Adjacency normalizations used by the GNN layers.
+
+use crate::csr::{CooEntry, CsrMatrix};
+
+/// GCN normalization `Â = D^{-1/2} (I + A) D^{-1/2}` (Kipf & Welling).
+///
+/// `a` must be square. `D` is the diagonal of weighted degrees of `I + A`
+/// (`d_v = 1 + Σ_u w_vu`), so every row gains a self-loop before scaling.
+/// Degrees that come out non-positive (possible with negative edge weights)
+/// are clamped to 1 to keep the scaling well defined.
+pub fn gcn_normalize(a: &CsrMatrix) -> CsrMatrix {
+    assert_eq!(a.rows(), a.cols(), "gcn_normalize requires a square matrix");
+    let n = a.rows();
+    let mut entries: Vec<CooEntry> = Vec::with_capacity(a.nnz() + n);
+    for r in 0..n {
+        entries.push(CooEntry { row: r, col: r, val: 1.0 });
+        for (c, v) in a.row(r) {
+            entries.push(CooEntry { row: r, col: c, val: v });
+        }
+    }
+    let with_loops = CsrMatrix::from_coo(n, n, entries);
+    let deg = with_loops.row_sums();
+    let inv_sqrt: Vec<f32> = deg
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 1.0 })
+        .collect();
+    with_loops.map_values(|r, c, v| v * inv_sqrt[r] * inv_sqrt[c])
+}
+
+/// Row normalization `D^{-1} A` (mean aggregator, used by GraphSAGE).
+/// Rows with no neighbours stay all-zero.
+pub fn row_normalize(a: &CsrMatrix) -> CsrMatrix {
+    let sums = a.row_sums();
+    a.map_values(|r, _, v| if sums[r] != 0.0 { v / sums[r] } else { 0.0 })
+}
+
+/// Symmetric normalized Laplacian `L = I - D^{-1/2} A D^{-1/2}` (no added
+/// self-loops), used for Laplacian positional encodings. Isolated nodes get
+/// `L_ii = 1`.
+pub fn sym_laplacian(a: &CsrMatrix) -> CsrMatrix {
+    assert_eq!(a.rows(), a.cols(), "sym_laplacian requires a square matrix");
+    let n = a.rows();
+    let deg = a.row_sums();
+    let inv_sqrt: Vec<f32> = deg
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+        .collect();
+    let mut entries: Vec<CooEntry> = Vec::with_capacity(a.nnz() + n);
+    for r in 0..n {
+        entries.push(CooEntry { row: r, col: r, val: 1.0 });
+        for (c, v) in a.row(r) {
+            entries.push(CooEntry { row: r, col: c, val: -v * inv_sqrt[r] * inv_sqrt[c] });
+        }
+    }
+    CsrMatrix::from_coo(n, n, entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Undirected path graph 0 - 1 - 2 with unit weights.
+    fn path3() -> CsrMatrix {
+        CsrMatrix::from_coo(
+            3,
+            3,
+            vec![
+                CooEntry { row: 0, col: 1, val: 1.0 },
+                CooEntry { row: 1, col: 0, val: 1.0 },
+                CooEntry { row: 1, col: 2, val: 1.0 },
+                CooEntry { row: 2, col: 1, val: 1.0 },
+            ],
+        )
+    }
+
+    #[test]
+    fn gcn_norm_adds_self_loops() {
+        let n = gcn_normalize(&path3());
+        assert!(n.get(0, 0) > 0.0);
+        assert!(n.get(1, 1) > 0.0);
+        assert_eq!(n.nnz(), 4 + 3);
+    }
+
+    #[test]
+    fn gcn_norm_values_match_formula() {
+        let n = gcn_normalize(&path3());
+        // deg(0)=2, deg(1)=3, deg(2)=2 after self-loops.
+        let d0 = 2.0f32;
+        let d1 = 3.0f32;
+        assert!((n.get(0, 0) - 1.0 / d0).abs() < 1e-6);
+        assert!((n.get(0, 1) - 1.0 / (d0 * d1).sqrt()).abs() < 1e-6);
+        assert!((n.get(1, 1) - 1.0 / d1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gcn_norm_is_symmetric_for_symmetric_input() {
+        let n = gcn_normalize(&path3());
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!((n.get(r, c) - n.get(c, r)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn row_normalize_rows_sum_to_one() {
+        let n = row_normalize(&path3());
+        for (r, s) in n.row_sums().iter().enumerate() {
+            assert!((s - 1.0).abs() < 1e-6, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn row_normalize_keeps_isolated_rows_zero() {
+        let a = CsrMatrix::from_coo(2, 2, vec![CooEntry { row: 0, col: 1, val: 2.0 }]);
+        let n = row_normalize(&a);
+        assert_eq!(n.get(0, 1), 1.0);
+        assert_eq!(n.row_sums()[1], 0.0);
+    }
+
+    #[test]
+    fn laplacian_rows_sum_to_zero_for_connected_nodes() {
+        let l = sym_laplacian(&path3());
+        // For a d-regular graph rows of L sum to 0; for the path only the
+        // middle node sees both neighbours with equal normalization.
+        assert!((l.get(0, 0) - 1.0).abs() < 1e-6);
+        assert!((l.get(0, 1) + 1.0 / (1.0f32 * 2.0).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn laplacian_isolated_node_identity() {
+        let a = CsrMatrix::from_coo(2, 2, vec![]);
+        let l = sym_laplacian(&a);
+        assert_eq!(l.get(0, 0), 1.0);
+        assert_eq!(l.get(1, 1), 1.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the sparse substrate.
+
+use proptest::prelude::*;
+
+use mixq_sparse::{gcn_normalize, row_normalize, spmm_int, CooEntry, CsrMatrix, QuantCsr};
+
+/// Strategy: a random sparse matrix as (rows, cols, entries).
+fn coo_matrix() -> impl Strategy<Value = (usize, usize, Vec<CooEntry>)> {
+    (1usize..8, 1usize..8).prop_flat_map(|(r, c)| {
+        let entry = (0..r, 0..c, -10i32..10).prop_map(|(row, col, v)| CooEntry {
+            row,
+            col,
+            val: v as f32 * 0.5,
+        });
+        (Just(r), Just(c), proptest::collection::vec(entry, 0..20))
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involutive((r, c, entries) in coo_matrix()) {
+        let m = CsrMatrix::from_coo(r, c, entries);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn spmm_matches_dense_reference((r, c, entries) in coo_matrix(), fdim in 1usize..5) {
+        let m = CsrMatrix::from_coo(r, c, entries);
+        let x: Vec<f32> = (0..c * fdim).map(|i| (i as f32) * 0.25 - 1.0).collect();
+        let y = m.spmm(&x, fdim);
+        // Dense reference.
+        let d = m.to_dense();
+        for i in 0..r {
+            for j in 0..fdim {
+                let mut acc = 0f32;
+                for k in 0..c {
+                    acc += d[i * c + k] * x[k * fdim + j];
+                }
+                prop_assert!((y[i * fdim + j] - acc).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_entries_sum((r, c, entries) in coo_matrix()) {
+        // Doubling every entry doubles every value.
+        let m1 = CsrMatrix::from_coo(r, c, entries.clone());
+        let doubled: Vec<CooEntry> =
+            entries.iter().flat_map(|e| [*e, *e]).collect();
+        let m2 = CsrMatrix::from_coo(r, c, doubled);
+        prop_assert_eq!(m1.nnz(), m2.nnz());
+        for row in 0..r {
+            for (col, v) in m1.row(row) {
+                prop_assert!((m2.get(row, col) - 2.0 * v).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn gcn_normalize_entries_bounded(n in 1usize..8, seed in 0u64..500) {
+        // Build a random symmetric unit-weight graph.
+        let mut entries = Vec::new();
+        let mut s = seed;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if s >> 62 == 0 {
+                    entries.push(CooEntry { row: i, col: j, val: 1.0 });
+                    entries.push(CooEntry { row: j, col: i, val: 1.0 });
+                }
+            }
+        }
+        let a = CsrMatrix::from_coo(n, n, entries);
+        let norm = gcn_normalize(&a);
+        for i in 0..n {
+            prop_assert!(norm.get(i, i) > 0.0, "diagonal must be positive");
+        }
+        for i in 0..n {
+            for (j, v) in norm.row(i) {
+                prop_assert!(v > 0.0 && v <= 1.0 + 1e-6, "entry ({},{}) = {}", i, j, v);
+            }
+        }
+    }
+
+    #[test]
+    fn row_normalize_rows_sum_to_one_or_zero((r, c, entries) in coo_matrix()) {
+        let positive: Vec<CooEntry> = entries
+            .into_iter()
+            .map(|e| CooEntry { val: e.val.abs() + 0.1, ..e })
+            .collect();
+        let m = CsrMatrix::from_coo(r, c, positive);
+        let n = row_normalize(&m);
+        for s in n.row_sums() {
+            prop_assert!((s - 1.0).abs() < 1e-4 || s == 0.0);
+        }
+    }
+
+    #[test]
+    fn integer_spmm_matches_float_spmm((r, c, entries) in coo_matrix(), fdim in 1usize..4) {
+        // Integer-valued matrices: both paths must agree exactly.
+        let int_entries: Vec<CooEntry> = entries
+            .into_iter()
+            .map(|e| CooEntry { val: e.val.round(), ..e })
+            .filter(|e| e.val != 0.0)
+            .collect();
+        let m = CsrMatrix::from_coo(r, c, int_entries);
+        let q = QuantCsr::from_csr(&m, 8, |_, _, v| v as i32);
+        let xi: Vec<i32> = (0..c * fdim).map(|i| (i as i32 % 7) - 3).collect();
+        let xf: Vec<f32> = xi.iter().map(|&v| v as f32).collect();
+        let yi = spmm_int(&q, &xi, fdim);
+        let yf = m.spmm(&xf, fdim);
+        for (a, b) in yi.iter().zip(yf.iter()) {
+            prop_assert_eq!(*a as f32, *b);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Central finite-difference gradient checking, used by the test suites of
+//! this crate and the layers built on top of it.
+
+use crate::matrix::Matrix;
+
+/// Numerically estimates `∂f/∂x` by central differences: perturbs each
+/// element of `x` by ±`eps` and evaluates the scalar function `f`.
+pub fn numeric_grad(mut f: impl FnMut(&Matrix) -> f32, x: &Matrix, eps: f32) -> Matrix {
+    let mut g = Matrix::zeros(x.rows(), x.cols());
+    let mut xp = x.clone();
+    for i in 0..x.numel() {
+        let orig = xp.data()[i];
+        xp.data_mut()[i] = orig + eps;
+        let fp = f(&xp);
+        xp.data_mut()[i] = orig - eps;
+        let fm = f(&xp);
+        xp.data_mut()[i] = orig;
+        g.data_mut()[i] = (fp - fm) / (2.0 * eps);
+    }
+    g
+}
+
+/// Asserts that `analytic` matches `numeric` within a combined
+/// absolute/relative tolerance, with a readable failure message.
+pub fn assert_close(analytic: &Matrix, numeric: &Matrix, tol: f32, what: &str) {
+    assert_eq!(analytic.shape(), numeric.shape(), "{what}: gradient shape mismatch");
+    for i in 0..analytic.numel() {
+        let a = analytic.data()[i];
+        let n = numeric.data()[i];
+        let denom = 1.0f32.max(a.abs()).max(n.abs());
+        assert!(
+            (a - n).abs() / denom <= tol,
+            "{what}: gradient mismatch at flat index {i}: analytic={a}, numeric={n}"
+        );
+    }
+}

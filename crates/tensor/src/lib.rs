@@ -1,0 +1,31 @@
+//! Dense tensor and reverse-mode autograd substrate for MixQ-GNN.
+//!
+//! The workspace needs a complete (if compact) deep-learning stack to
+//! reproduce the paper, and this crate is its foundation:
+//!
+//! * [`Matrix`] — dense row-major `f32` matrices with the BLAS-free matmul
+//!   kernels the optimizer loops run on;
+//! * [`Tape`] / [`Var`] — a tape-based reverse-mode autograd engine whose
+//!   operations are an explicit enum with hand-derived, finite-difference-
+//!   verified adjoints, including the quantization-specific ops (clipped
+//!   straight-through fake quantization, the paper's relaxed multi-bit-width
+//!   quantizer of Eq. 6, and the differentiable bit-cost penalty of Eq. 8);
+//! * [`QuantParams`] — affine per-tensor quantization parameters shared
+//!   bit-exactly between training-time fake quantization and the integer
+//!   inference engine in `mixq-core`;
+//! * [`Rng`] — a self-contained seeded xoshiro256** generator so every
+//!   experiment is reproducible;
+//! * gradient-checking helpers ([`numeric_grad`], [`assert_close`]) used
+//!   across the workspace test suites.
+
+mod gradcheck;
+mod matrix;
+mod quant;
+mod rng;
+mod tape;
+
+pub use gradcheck::{assert_close, numeric_grad};
+pub use matrix::Matrix;
+pub use quant::QuantParams;
+pub use rng::Rng;
+pub use tape::{softmax_slice, BatchNormOut, SpPair, Tape, Var};

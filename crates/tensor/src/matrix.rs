@@ -1,0 +1,307 @@
+//! Dense row-major `f32` matrices and the BLAS-free kernels used by the
+//! autograd engine.
+
+/// A dense row-major matrix of `f32`.
+///
+/// This is the only dense tensor type in the workspace: GNN training state
+/// is naturally 2-D (nodes × features, features × features), and scalars are
+/// represented as `1×1` matrices.
+///
+/// ```
+/// use mixq_tensor::Matrix;
+/// let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+/// let b = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+/// assert_eq!(a.matmul(&b).data(), &[2.0, 1.0, 4.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::filled(rows, cols, 1.0)
+    }
+
+    pub fn filled(rows: usize, cols: usize, v: f32) -> Self {
+        Self { rows, cols, data: vec![v; rows * cols] }
+    }
+
+    /// A `1×1` matrix holding a single scalar.
+    pub fn scalar(v: f32) -> Self {
+        Self { rows: 1, cols: 1, data: vec![v] }
+    }
+
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
+        Self { rows, cols, data }
+    }
+
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// The value of a `1×1` matrix.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.numel(), 1, "item() requires a 1×1 matrix");
+        self.data[0]
+    }
+
+    pub fn row_slice(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    pub fn row_slice_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `C = A · B` (ikj loop order; the inner loop is
+    /// contiguous over both `B` and `C` so it auto-vectorizes).
+    pub fn matmul(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.cols, b.rows, "matmul: inner dimensions differ");
+        let mut c = Matrix::zeros(self.rows, b.cols);
+        for i in 0..self.rows {
+            let crow = &mut c.data[i * b.cols..(i + 1) * b.cols];
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &b.data[k * b.cols..(k + 1) * b.cols];
+                for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                    *cv += a * bv;
+                }
+            }
+        }
+        c
+    }
+
+    /// `C = Aᵀ · B` without materializing the transpose.
+    pub fn matmul_at_b(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.rows, b.rows, "matmul_at_b: row counts differ");
+        let mut c = Matrix::zeros(self.cols, b.cols);
+        for i in 0..self.rows {
+            let brow = &b.data[i * b.cols..(i + 1) * b.cols];
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let crow = &mut c.data[k * b.cols..(k + 1) * b.cols];
+                for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                    *cv += a * bv;
+                }
+            }
+        }
+        c
+    }
+
+    /// `C = A · Bᵀ` without materializing the transpose.
+    pub fn matmul_a_bt(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.cols, b.cols, "matmul_a_bt: col counts differ");
+        let mut c = Matrix::zeros(self.rows, b.rows);
+        for i in 0..self.rows {
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            for j in 0..b.rows {
+                let brow = &b.data[j * b.cols..(j + 1) * b.cols];
+                let mut acc = 0f32;
+                for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                    acc += av * bv;
+                }
+                c.data[i * b.rows + j] = acc;
+            }
+        }
+        c
+    }
+
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        t
+    }
+
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "add_assign: shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    pub fn scale_assign(&mut self, c: f32) {
+        for v in &mut self.data {
+            *v *= c;
+        }
+    }
+
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Element-wise binary combination; shapes must match.
+    pub fn zip(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "zip: shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Sum of each column as a `1×cols` matrix.
+    pub fn col_sums(&self) -> Matrix {
+        let mut s = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                s.data[c] += self.data[r * self.cols + c];
+            }
+        }
+        s
+    }
+
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Frobenius inner product `Σ_{ij} A_{ij} B_{ij}`.
+    pub fn dot(&self, other: &Matrix) -> f32 {
+        assert_eq!(self.shape(), other.shape(), "dot: shape mismatch");
+        self.data.iter().zip(other.data.iter()).map(|(&a, &b)| a * b).sum()
+    }
+
+    /// Max absolute element-wise difference, for approximate comparisons.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        assert_eq!(self.shape(), other.shape(), "max_abs_diff: shape mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_known_result() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_transposed_variants_agree() {
+        let a = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32 * 0.5 - 2.0);
+        let b = Matrix::from_fn(4, 5, |r, c| (r + c) as f32 * 0.25);
+        let via_explicit = a.transpose().matmul(&b);
+        assert!(a.matmul_at_b(&b).max_abs_diff(&via_explicit) < 1e-6);
+
+        let c = Matrix::from_fn(6, 3, |r, c| (r as f32 - c as f32) * 0.1);
+        let via_explicit = a.matmul(&c.transpose());
+        assert!(a.matmul_a_bt(&c).max_abs_diff(&via_explicit) < 1e-6);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as f32);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn col_sums_and_reductions() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.col_sums().data(), &[4.0, 6.0]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.min(), 1.0);
+        assert_eq!(a.max(), 4.0);
+        assert_eq!(a.dot(&a), 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn scalar_helpers() {
+        let s = Matrix::scalar(3.5);
+        assert_eq!(s.item(), 3.5);
+        assert_eq!(s.shape(), (1, 1));
+    }
+}

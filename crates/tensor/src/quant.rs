@@ -1,0 +1,165 @@
+//! Affine per-tensor quantization parameters.
+//!
+//! A quantizer maps reals to integers as `Q(x) = clip(⌊x/S⌉ + Z, qmin, qmax)`
+//! and back as `Q⁻¹(q) = (q − Z)·S` (Eqs. 3–4 of the paper). This struct is
+//! shared between the autograd fake-quantization ops (training) and the
+//! integer inference engine, so both paths use bit-identical rounding.
+
+/// Parameters of one affine per-tensor quantizer.
+///
+/// ```
+/// use mixq_tensor::QuantParams;
+/// let qp = QuantParams::from_min_max(-1.0, 1.0, 8);
+/// let code = qp.quantize(0.5);
+/// assert!((qp.dequantize(code) - 0.5).abs() <= qp.scale / 2.0);
+/// assert_eq!(qp.fake(0.0), 0.0); // zero is always exactly representable
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    /// Scale `S` (step size between representable values). Always > 0.
+    pub scale: f32,
+    /// Zero point `Z`: the integer that represents real 0.
+    pub zero_point: i32,
+    /// Smallest representable integer (e.g. −128 for signed INT8).
+    pub qmin: i32,
+    /// Largest representable integer (e.g. 127 for signed INT8).
+    pub qmax: i32,
+    /// Logical bit-width, kept for cost accounting.
+    pub bits: u8,
+}
+
+impl QuantParams {
+    /// Signed symmetric integer range for `bits`, e.g. 8 → [−128, 127].
+    pub fn int_range(bits: u8) -> (i32, i32) {
+        assert!((2..=32).contains(&bits), "bit-width {bits} unsupported");
+        if bits == 32 {
+            return (i32::MIN, i32::MAX);
+        }
+        (-(1 << (bits - 1)), (1 << (bits - 1)) - 1)
+    }
+
+    /// Builds parameters covering `[min, max]` with an asymmetric (affine)
+    /// mapping. Degenerate ranges are widened so the scale stays positive.
+    pub fn from_min_max(mut min: f32, mut max: f32, bits: u8) -> Self {
+        let (qmin, qmax) = Self::int_range(bits);
+        // The range must contain zero so that 0.0 is exactly representable
+        // (standard requirement: padding/zero messages stay exact).
+        min = min.min(0.0);
+        max = max.max(0.0);
+        if max - min < 1e-12 {
+            max = min + 1e-6;
+        }
+        let scale = (max - min) / (qmax - qmin) as f32;
+        let zero_point = (qmin as f32 - min / scale).round().clamp(qmin as f32, qmax as f32) as i32;
+        Self { scale, zero_point, qmin, qmax, bits }
+    }
+
+    /// Builds symmetric parameters (`Z = 0`) covering `[−a, a]` where
+    /// `a = max(|min|, |max|)`. Preferred for weights.
+    pub fn symmetric(min: f32, max: f32, bits: u8) -> Self {
+        let (qmin, qmax) = Self::int_range(bits);
+        let a = min.abs().max(max.abs()).max(1e-8);
+        let scale = a / qmax as f32;
+        Self { scale, zero_point: 0, qmin, qmax, bits }
+    }
+
+    /// Identity-like parameters used when a component is left unquantized
+    /// (`S = 1`, `Z = 0`), as recommended for inter-layer outputs (§4).
+    pub fn identity(bits: u8) -> Self {
+        let (qmin, qmax) = Self::int_range(bits);
+        Self { scale: 1.0, zero_point: 0, qmin, qmax, bits }
+    }
+
+    /// `Q(x)`: quantize one real value to its integer code.
+    #[inline]
+    pub fn quantize(&self, x: f32) -> i32 {
+        let q = (x / self.scale).round_ties_even() + self.zero_point as f32;
+        (q.clamp(self.qmin as f32, self.qmax as f32)) as i32
+    }
+
+    /// `Q⁻¹(q)`: map an integer code back to its real value.
+    #[inline]
+    pub fn dequantize(&self, q: i32) -> f32 {
+        (q - self.zero_point) as f32 * self.scale
+    }
+
+    /// Fake quantization `Q⁻¹(Q(x))` used during QAT.
+    #[inline]
+    pub fn fake(&self, x: f32) -> f32 {
+        self.dequantize(self.quantize(x))
+    }
+
+    /// True when `x` falls inside the representable range *before* clipping.
+    /// The clipped straight-through estimator passes gradient only here.
+    #[inline]
+    pub fn in_range(&self, x: f32) -> bool {
+        let q = (x / self.scale).round_ties_even() + self.zero_point as f32;
+        q >= self.qmin as f32 && q <= self.qmax as f32
+    }
+
+    /// Largest magnitude real value representable by this quantizer.
+    pub fn real_range(&self) -> (f32, f32) {
+        (self.dequantize(self.qmin), self.dequantize(self.qmax))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_ranges() {
+        assert_eq!(QuantParams::int_range(2), (-2, 1));
+        assert_eq!(QuantParams::int_range(4), (-8, 7));
+        assert_eq!(QuantParams::int_range(8), (-128, 127));
+        assert_eq!(QuantParams::int_range(16), (-32768, 32767));
+    }
+
+    #[test]
+    fn zero_is_exactly_representable() {
+        for bits in [2, 4, 8] {
+            let qp = QuantParams::from_min_max(-1.3, 2.7, bits);
+            assert_eq!(qp.fake(0.0), 0.0, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn round_trip_error_bounded_by_half_scale() {
+        let qp = QuantParams::from_min_max(-4.0, 4.0, 8);
+        for i in -40..=40 {
+            let x = i as f32 * 0.1;
+            assert!((qp.fake(x) - x).abs() <= qp.scale * 0.5 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn clipping_saturates_out_of_range() {
+        let qp = QuantParams::from_min_max(-1.0, 1.0, 4);
+        let (lo, hi) = qp.real_range();
+        assert!(qp.fake(100.0) <= hi + 1e-6);
+        assert!(qp.fake(-100.0) >= lo - 1e-6);
+        assert!(!qp.in_range(100.0));
+        assert!(qp.in_range(0.5));
+    }
+
+    #[test]
+    fn symmetric_has_zero_zero_point() {
+        let qp = QuantParams::symmetric(-0.8, 0.3, 8);
+        assert_eq!(qp.zero_point, 0);
+        assert!((qp.fake(0.8) - 0.8).abs() < qp.scale);
+    }
+
+    #[test]
+    fn identity_params_round_to_integers() {
+        let qp = QuantParams::identity(16);
+        assert_eq!(qp.fake(3.4), 3.0);
+        assert_eq!(qp.fake(-2.6), -3.0);
+    }
+
+    #[test]
+    fn degenerate_range_stays_finite() {
+        let qp = QuantParams::from_min_max(0.0, 0.0, 8);
+        assert!(qp.scale > 0.0);
+        assert!(qp.fake(0.0).is_finite());
+    }
+}

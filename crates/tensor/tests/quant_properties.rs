@@ -1,0 +1,71 @@
+//! Property-based tests of the quantization primitives.
+
+use proptest::prelude::*;
+
+use mixq_tensor::QuantParams;
+
+proptest! {
+    /// Quantize→dequantize error is bounded by half a step inside the
+    /// representable range.
+    #[test]
+    fn round_trip_error_bounded(
+        lo in -100f32..0.0,
+        span in 0.1f32..200.0,
+        bits in 2u8..9,
+        t in 0f32..1.0,
+    ) {
+        let hi = lo + span;
+        let qp = QuantParams::from_min_max(lo, hi, bits);
+        let (rlo, rhi) = qp.real_range();
+        let x = rlo + t * (rhi - rlo);
+        let err = (qp.fake(x) - x).abs();
+        prop_assert!(err <= qp.scale * 0.5 + 1e-5, "err {} > half-scale {}", err, qp.scale * 0.5);
+    }
+
+    /// Fake quantization is idempotent: quantizing a quantized value is a
+    /// no-op.
+    #[test]
+    fn fake_quant_idempotent(x in -50f32..50.0, bits in 2u8..9) {
+        let qp = QuantParams::from_min_max(-10.0, 10.0, bits);
+        let once = qp.fake(x);
+        prop_assert_eq!(qp.fake(once), once);
+    }
+
+    /// Quantization is monotone: x ≤ y ⇒ Q(x) ≤ Q(y).
+    #[test]
+    fn quantize_is_monotone(a in -20f32..20.0, b in -20f32..20.0, bits in 2u8..9) {
+        let qp = QuantParams::from_min_max(-5.0, 5.0, bits);
+        let (x, y) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(qp.quantize(x) <= qp.quantize(y));
+    }
+
+    /// Codes always land in [qmin, qmax] no matter the input.
+    #[test]
+    fn codes_in_range(x in proptest::num::f32::NORMAL, bits in 2u8..9) {
+        let qp = QuantParams::from_min_max(-1.0, 1.0, bits);
+        let q = qp.quantize(x);
+        prop_assert!(q >= qp.qmin && q <= qp.qmax);
+    }
+
+    /// More bits never increase the round-trip error for in-range values.
+    #[test]
+    fn wider_is_never_worse(t in 0.02f32..0.98) {
+        // Use the symmetric interior to avoid edge-of-range clipping noise.
+        let x = -1.0 + 2.0 * t;
+        let mut last = f32::INFINITY;
+        for bits in [2u8, 4, 8, 16] {
+            let qp = QuantParams::from_min_max(-1.0, 1.0, bits);
+            let err = (qp.fake(x) - x).abs();
+            prop_assert!(err <= last + 1e-6, "error grew from {} to {} at {} bits", last, err, bits);
+            last = err;
+        }
+    }
+
+    /// Symmetric quantizers map 0 to code 0 exactly.
+    #[test]
+    fn symmetric_zero_code(lo in -10f32..-0.1, hi in 0.1f32..10.0, bits in 2u8..9) {
+        let qp = QuantParams::symmetric(lo, hi, bits);
+        prop_assert_eq!(qp.quantize(0.0), 0);
+        prop_assert_eq!(qp.fake(0.0), 0.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Demonstrates Theorem 1 numerically: quantized message passing computed
+//! from integer codes equals quantizing the fake-quantized FP product.
+//!
+//! Run with: `cargo run --release --example theorem1_demo`
+
+use mixq::core::{quantized_spmm, QmpParams};
+use mixq::sparse::{gcn_normalize, CooEntry, CsrMatrix, QuantCsr};
+use mixq::tensor::{Matrix, QuantParams, Rng};
+
+fn main() {
+    // A small random graph and feature matrix.
+    let mut rng = Rng::seed_from_u64(5);
+    let n = 8;
+    let f = 4;
+    let mut entries = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && rng.bernoulli(0.3) {
+                entries.push(CooEntry { row: i, col: j, val: 1.0 });
+            }
+        }
+    }
+    let adj = gcn_normalize(&CsrMatrix::from_coo(n, n, entries));
+    let x = Matrix::from_fn(n, f, |_, _| rng.normal());
+
+    // Quantize Â symmetrically (Z_a = 0 keeps the sparse structure exact)
+    // and X with an affine 8-bit quantizer.
+    let a_qp = QuantParams::symmetric(0.0, adj.values().iter().cloned().fold(0.0, f32::max), 8);
+    let qa = QuantCsr::from_csr(&adj, 8, |_, _, v| a_qp.quantize(v));
+    let x_qp = QuantParams::from_min_max(x.min(), x.max(), 8);
+    let qx: Vec<i32> = x.data().iter().map(|&v| x_qp.quantize(v)).collect();
+    let y_qp = QuantParams::from_min_max(-4.0, 4.0, 8);
+
+    // Integer path (Theorem 1): C1 ⊙ Qa(A)Qx(X) ⊙ C2 + C3.
+    let p = QmpParams::per_tensor(
+        n, f,
+        a_qp.scale, 0,
+        x_qp.scale, x_qp.zero_point,
+        y_qp.scale, y_qp.zero_point,
+        y_qp.qmin, y_qp.qmax,
+    );
+    let qy = quantized_spmm(&qa, &qx, f, &p);
+
+    // FP reference: fake-quantize both operands, multiply, quantize.
+    let a_fake = adj.map_values(|_, _, v| a_qp.fake(v));
+    let x_fake = x.map(|v| x_qp.fake(v));
+    let y_ref = a_fake.spmm(x_fake.data(), f);
+    let qy_ref: Vec<i32> = y_ref.iter().map(|&v| y_qp.quantize(v)).collect();
+
+    let matches = qy.iter().zip(&qy_ref).filter(|(a, b)| a == b).count();
+    println!("integer path matches FP reference on {matches}/{} entries", qy.len());
+    assert_eq!(qy, qy_ref, "Theorem 1 must be numerically exact");
+    println!("Theorem 1 verified: Q_y(AX) computed exactly from integer codes.");
+}

@@ -1,0 +1,26 @@
+#!/bin/bash
+# Regenerates every paper table/figure sequentially (single-core machine).
+# Budgets are tuned so the full suite finishes in ~1 hour; raise --runs for
+# tighter confidence intervals.
+set -u
+cd "$(dirname "$0")"
+BIN=target/release
+run() { echo "=== $1 $2 ==="; $BIN/$1 $2 2>&1 | tee results/$1.txt; }
+run table2 ""
+run table3 "--runs 4"
+run table4 "--runs 2"
+run table5 "--runs 2"
+run table6 "--runs 2"
+run table10 "--runs 4"
+run fig9 "--runs 1"
+run fig1 "--runs 2"
+run fig2 "--quick --runs 1"
+run fig3 "--quick --runs 1"
+run table9 "--runs 1"
+run table8 "--quick --runs 3"
+run table7 "--quick --runs 1"
+run table1 ""
+run fig8 ""
+run ablation "--quick --runs 2"
+$BIN/report
+echo ALL_EXPERIMENTS_DONE

@@ -1,0 +1,151 @@
+//! Integration tests for the graph-classification pipeline: batching,
+//! the GIN architecture, quantized training and the MixQ graph search.
+
+use mixq::core::{
+    gin_graph_schema, search_gin_graph_bits, BitAssignment, QGinGraphNet, QuantKind,
+    SearchConfig,
+};
+use mixq::graph::{imdb_b_like, stratified_kfold};
+use mixq::nn::{train_graph, GinGraphNet, GraphBundle, ParamSet, TrainConfig};
+use mixq::tensor::Rng;
+
+fn split(ds: &mixq::graph::GraphDataset, seed: u64) -> (GraphBundle, GraphBundle) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let folds = stratified_kfold(&mut rng, &ds.labels, ds.num_classes, 4);
+    let (train_idx, test_idx) = &folds[0];
+    (GraphBundle::from_graphs(ds, train_idx), GraphBundle::from_graphs(ds, test_idx))
+}
+
+#[test]
+fn fp32_gin_learns_graph_classification() {
+    let ds = imdb_b_like(21, 80);
+    let (train, test) = split(&ds, 1);
+    let mut ps = ParamSet::new();
+    let mut rng = Rng::seed_from_u64(0);
+    let mut net = GinGraphNet::new(&mut ps, ds.feat_dim(), 16, ds.num_classes, 3, &mut rng);
+    let cfg = TrainConfig { epochs: 60, lr: 0.01, weight_decay: 1e-4, seed: 0, patience: 0 };
+    let (train_acc, test_acc) = train_graph(&mut net, &mut ps, &train, &test, &cfg);
+    assert!(train_acc > 0.8, "GIN should fit the train split, got {train_acc}");
+    assert!(test_acc > 0.6, "GIN test accuracy {test_acc} too low");
+}
+
+#[test]
+fn quantized_gin_int8_close_to_fp32() {
+    let ds = imdb_b_like(22, 80);
+    let (train, test) = split(&ds, 2);
+    let cfg = TrainConfig { epochs: 60, lr: 0.01, weight_decay: 1e-4, seed: 0, patience: 0 };
+
+    let mut ps = ParamSet::new();
+    let mut rng = Rng::seed_from_u64(0);
+    let mut fp32 = GinGraphNet::new(&mut ps, ds.feat_dim(), 16, ds.num_classes, 3, &mut rng);
+    let (_, fp_acc) = train_graph(&mut fp32, &mut ps, &train, &test, &cfg);
+
+    let a = BitAssignment::uniform(gin_graph_schema(3), 8);
+    let mut ps = ParamSet::new();
+    let mut rng = Rng::seed_from_u64(0);
+    let mut qnet = QGinGraphNet::new(
+        &mut ps,
+        ds.feat_dim(),
+        16,
+        ds.num_classes,
+        3,
+        a,
+        QuantKind::Native,
+        &train.degrees,
+        &mut rng,
+    );
+    let (_, q_acc) = train_graph(&mut qnet, &mut ps, &train, &test, &cfg);
+    assert!(
+        q_acc > fp_acc - 0.12,
+        "INT8 GIN ({q_acc}) should be near FP32 ({fp_acc})"
+    );
+}
+
+#[test]
+fn gin_graph_search_returns_valid_assignment() {
+    let ds = imdb_b_like(23, 60);
+    let (train, _) = split(&ds, 3);
+    let scfg = SearchConfig { epochs: 16, lr: 0.02, lambda: 0.1, seed: 0, warmup: 8 };
+    let a = search_gin_graph_bits(&train, ds.feat_dim(), 16, ds.num_classes, 3, &[4, 8], &scfg);
+    assert_eq!(a.names, gin_graph_schema(3));
+    assert!(a.bits.iter().all(|b| [4u8, 8].contains(b)));
+}
+
+#[test]
+fn quantized_gin_handles_different_eval_batch_sizes() {
+    // Train and test batches have different node counts; degree-driven
+    // state must adapt (regression test for per-batch quantizer state).
+    let ds = imdb_b_like(24, 60);
+    let (train, test) = split(&ds, 4);
+    assert_ne!(train.degrees.len(), test.degrees.len());
+    let a = BitAssignment::uniform(gin_graph_schema(2), 8);
+    let mut ps = ParamSet::new();
+    let mut rng = Rng::seed_from_u64(0);
+    let mut qnet = QGinGraphNet::new(
+        &mut ps,
+        ds.feat_dim(),
+        16,
+        ds.num_classes,
+        2,
+        a,
+        QuantKind::A2q { lo: 4, mid: 4, hi: 8 },
+        &train.degrees,
+        &mut rng,
+    );
+    let cfg = TrainConfig { epochs: 20, lr: 0.01, weight_decay: 1e-4, seed: 0, patience: 0 };
+    let (_, test_acc) = train_graph(&mut qnet, &mut ps, &train, &test, &cfg);
+    assert!(test_acc > 0.4, "A2Q GIN should at least beat chance, got {test_acc}");
+}
+
+#[test]
+fn gcn_graph_net_requantizes_adjacency_per_batch() {
+    // Regression: the quantized-adjacency cache must be keyed by batch —
+    // evaluating on a batch with a different node count used to reuse the
+    // train batch's quantized adjacency and crash in the SpMM.
+    use mixq::core::{gcn_graph_schema, QGcnGraphNet};
+    let ds = imdb_b_like(25, 60);
+    let (train, test) = split(&ds, 5);
+    assert_ne!(train.degrees.len(), test.degrees.len());
+    let a = BitAssignment::uniform(gcn_graph_schema(2), 8);
+    let mut ps = ParamSet::new();
+    let mut rng = Rng::seed_from_u64(0);
+    let mut net = QGcnGraphNet::new(
+        &mut ps,
+        ds.feat_dim(),
+        16,
+        ds.num_classes,
+        2,
+        a,
+        QuantKind::Dq { p_min: 0.0, p_max: 0.2 },
+        &train.degrees,
+        &mut rng,
+    );
+    let cfg = TrainConfig { epochs: 15, lr: 0.01, weight_decay: 1e-4, seed: 0, patience: 0 };
+    let (_, test_acc) = train_graph(&mut net, &mut ps, &train, &test, &cfg);
+    assert!(test_acc.is_finite());
+}
+
+#[test]
+fn dq_gin_trains_despite_pooled_head_tensors() {
+    // Regression: DQ's protective mask is node-level; pooled per-graph
+    // tensors in the readout head must quantize without it (used to panic).
+    let ds = imdb_b_like(26, 60);
+    let (train, test) = split(&ds, 6);
+    let a = BitAssignment::uniform(gin_graph_schema(2), 4);
+    let mut ps = ParamSet::new();
+    let mut rng = Rng::seed_from_u64(0);
+    let mut net = QGinGraphNet::new(
+        &mut ps,
+        ds.feat_dim(),
+        16,
+        ds.num_classes,
+        2,
+        a,
+        QuantKind::Dq { p_min: 0.0, p_max: 0.3 },
+        &train.degrees,
+        &mut rng,
+    );
+    let cfg = TrainConfig { epochs: 20, lr: 0.01, weight_decay: 1e-4, seed: 0, patience: 0 };
+    let (_, test_acc) = train_graph(&mut net, &mut ps, &train, &test, &cfg);
+    assert!(test_acc > 0.4, "DQ GIN should beat chance, got {test_acc}");
+}

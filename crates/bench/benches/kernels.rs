@@ -1,68 +1,67 @@
 //! Micro-benchmarks of the computational kernels: dense matmul, float and
 //! integer SpMM, quantization, and the small eigensolver.
+//!
+//! Run with `cargo bench --bench kernels`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mixq_bench::bench;
 use mixq_core::{quantize_csr_symmetric, quantized_spmm, QmpParams};
 use mixq_graph::{cora_like, jacobi_eigh};
 use mixq_sparse::gcn_normalize;
 use mixq_tensor::{Matrix, QuantParams, Rng};
 
-fn bench_matmul(c: &mut Criterion) {
+fn bench_matmul() {
     let mut rng = Rng::seed_from_u64(1);
     let a = Matrix::from_fn(256, 256, |_, _| rng.normal());
     let b = Matrix::from_fn(256, 256, |_, _| rng.normal());
-    c.bench_function("matmul_256", |bch| bch.iter(|| std::hint::black_box(a.matmul(&b))));
-    c.bench_function("matmul_at_b_256", |bch| {
-        bch.iter(|| std::hint::black_box(a.matmul_at_b(&b)))
+    bench("matmul_256", || {
+        std::hint::black_box(a.matmul(&b));
+    });
+    bench("matmul_at_b_256", || {
+        std::hint::black_box(a.matmul_at_b(&b));
     });
 }
 
-fn bench_spmm(c: &mut Criterion) {
+fn bench_spmm() {
     let ds = cora_like(1);
     let adj = gcn_normalize(&ds.adj);
     let f = 64usize;
     let mut rng = Rng::seed_from_u64(2);
     let x: Vec<f32> = (0..ds.num_nodes() * f).map(|_| rng.normal()).collect();
-    c.bench_function("spmm_f32_cora_f64", |bch| {
-        bch.iter(|| std::hint::black_box(adj.spmm(&x, f)))
+    bench("spmm_f32_cora_f64", || {
+        std::hint::black_box(adj.spmm(&x, f));
     });
 
     let (qa, sa) = quantize_csr_symmetric(&adj, 8);
-    let qx: Vec<i32> = (0..ds.num_nodes() * f).map(|_| rng.gen_range(255) as i32 - 128).collect();
+    let qx: Vec<i32> = (0..ds.num_nodes() * f)
+        .map(|_| rng.gen_range(255) as i32 - 128)
+        .collect();
     let p = QmpParams::per_tensor(ds.num_nodes(), f, sa, 0, 0.01, 3, 0.02, 0, -128, 127);
-    c.bench_function("spmm_int8_theorem1_cora_f64", |bch| {
-        bch.iter(|| std::hint::black_box(quantized_spmm(&qa, &qx, f, &p)))
+    bench("spmm_int8_theorem1_cora_f64", || {
+        std::hint::black_box(quantized_spmm(&qa, &qx, f, &p));
     });
 }
 
-fn bench_quantize(c: &mut Criterion) {
+fn bench_quantize() {
     let mut rng = Rng::seed_from_u64(3);
     let x = Matrix::from_fn(512, 128, |_, _| rng.normal());
     let qp = QuantParams::from_min_max(-4.0, 4.0, 8);
-    c.bench_function("fake_quant_64k", |bch| {
-        bch.iter(|| std::hint::black_box(x.map(|v| qp.fake(v))))
+    bench("fake_quant_64k", || {
+        std::hint::black_box(x.map(|v| qp.fake(v)));
     });
 }
 
-fn bench_eigh(c: &mut Criterion) {
+fn bench_eigh() {
     let mut rng = Rng::seed_from_u64(4);
     let b = Matrix::from_fn(41, 41, |_, _| rng.normal());
     let sym = b.zip(&b.transpose(), |x, y| 0.5 * (x + y));
-    c.bench_function("jacobi_eigh_41", |bch| {
-        bch.iter(|| std::hint::black_box(jacobi_eigh(&sym, 50)))
+    bench("jacobi_eigh_41", || {
+        std::hint::black_box(jacobi_eigh(&sym, 50));
     });
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_millis(900))
-        .warm_up_time(std::time::Duration::from_millis(200))
+fn main() {
+    bench_matmul();
+    bench_spmm();
+    bench_quantize();
+    bench_eigh();
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_matmul, bench_spmm, bench_quantize, bench_eigh
-}
-criterion_main!(benches);

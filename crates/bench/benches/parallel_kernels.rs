@@ -1,0 +1,77 @@
+//! Speedup of the scoped-thread parallel runtime over the serial kernels.
+//!
+//! Measures dense matmul, float SpMM, Theorem-1 integer SpMM, and the
+//! fake-quant element-wise kernel at 1/2/4/8 threads, and prints each
+//! configuration's speedup relative to the 1-thread baseline. Results are
+//! bit-identical across thread counts (asserted against the baseline as
+//! part of the run), so the only variable is wall-clock time.
+//!
+//! Run with `cargo bench --bench parallel_kernels`. On a single-core
+//! machine the speedups hover around 1×; the runtime caps threads at the
+//! row count and falls back to the serial path below the row threshold, so
+//! oversubscription costs stay bounded.
+
+use mixq_bench::{format_ns, median_ns_per_iter};
+use mixq_core::{quantize_csr_symmetric, quantized_spmm, QmpParams};
+use mixq_graph::cora_like;
+use mixq_parallel::set_num_threads;
+use mixq_sparse::gcn_normalize;
+use mixq_tensor::{Matrix, QuantParams, Rng};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Benchmarks `f` at each thread count and prints time + speedup vs 1.
+fn sweep<T: PartialEq>(name: &str, mut f: impl FnMut() -> T) {
+    set_num_threads(1);
+    let reference = f();
+    let mut base = 0f64;
+    for &t in &THREADS {
+        set_num_threads(t);
+        assert!(f() == reference, "{name}: output changed at {t} threads");
+        let ns = median_ns_per_iter(|| {
+            std::hint::black_box(f());
+        });
+        if t == 1 {
+            base = ns;
+        }
+        println!(
+            "{name:<32} {t} thread{} {:>12}/iter  {:>5.2}x",
+            if t == 1 { " " } else { "s" },
+            format_ns(ns),
+            base / ns
+        );
+    }
+    set_num_threads(1);
+}
+
+fn main() {
+    println!(
+        "parallel runtime: {} hardware threads available, MIXQ_THREADS={}",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        std::env::var("MIXQ_THREADS").unwrap_or_else(|_| "<unset>".into()),
+    );
+
+    let mut rng = Rng::seed_from_u64(1);
+    let a = Matrix::from_fn(256, 256, |_, _| rng.normal());
+    let b = Matrix::from_fn(256, 256, |_, _| rng.normal());
+    sweep("matmul_256", || a.matmul(&b).into_vec());
+
+    let ds = cora_like(1);
+    let adj = gcn_normalize(&ds.adj);
+    let f = 64usize;
+    let x: Vec<f32> = (0..ds.num_nodes() * f).map(|_| rng.normal()).collect();
+    sweep("spmm_f32_cora_f64", || adj.spmm(&x, f));
+
+    let (qa, sa) = quantize_csr_symmetric(&adj, 8);
+    let qx: Vec<i32> = (0..ds.num_nodes() * f)
+        .map(|_| rng.gen_range(255) as i32 - 128)
+        .collect();
+    let p = QmpParams::per_tensor(ds.num_nodes(), f, sa, 0, 0.01, 3, 0.02, 0, -128, 127);
+    sweep("spmm_int8_theorem1_cora_f64", || {
+        quantized_spmm(&qa, &qx, f, &p)
+    });
+
+    let big = Matrix::from_fn(512, 128, |_, _| rng.normal());
+    let qp = QuantParams::from_min_max(-4.0, 4.0, 8);
+    sweep("fake_quant_64k", || big.par_map(|v| qp.fake(v)).into_vec());
+}

@@ -5,45 +5,56 @@
 //! * the relaxed (|B|-way) forward vs the plain fixed-bit QAT forward —
 //!   the `×|B|` search overhead factor of §4.2;
 //! * fixed-point requantization vs float requantization of an accumulator.
+//!
+//! Run with `cargo bench --bench quantized_paths`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mixq_bench::bench;
 use mixq_core::{
-    fixed_point_multiply, gcn_schema, quantize_csr_symmetric, quantize_multiplier,
-    quantized_spmm, BitAssignment, QGcnNet, QmpParams, QuantKind, RelaxedGcnNet, SearchConfig,
+    fixed_point_multiply, gcn_schema, quantize_csr_symmetric, quantize_multiplier, quantized_spmm,
+    BitAssignment, QGcnNet, QmpParams, QuantKind, RelaxedGcnNet, SearchConfig,
 };
 use mixq_graph::cora_like;
 use mixq_nn::{Binding, Fwd, NodeBundle, NodeNet, ParamSet};
 use mixq_sparse::gcn_normalize;
 use mixq_tensor::{QuantParams, Rng, Tape};
 
-fn bench_theorem1_vs_naive(c: &mut Criterion) {
+fn bench_theorem1_vs_naive() {
     let ds = cora_like(1);
     let adj = gcn_normalize(&ds.adj);
     let f = 64usize;
     let n = ds.num_nodes();
     let mut rng = Rng::seed_from_u64(1);
     let (qa, sa) = quantize_csr_symmetric(&adj, 8);
-    let qx: Vec<i32> = (0..n * f).map(|_| rng.gen_range(255) as i32 - 128).collect();
+    let qx: Vec<i32> = (0..n * f)
+        .map(|_| rng.gen_range(255) as i32 - 128)
+        .collect();
     let x_qp = QuantParams::from_min_max(-1.0, 1.0, 8);
     let y_qp = QuantParams::from_min_max(-4.0, 4.0, 8);
     let p = QmpParams::per_tensor(
-        n, f, sa, 0, x_qp.scale, x_qp.zero_point, y_qp.scale, y_qp.zero_point, -128, 127,
+        n,
+        f,
+        sa,
+        0,
+        x_qp.scale,
+        x_qp.zero_point,
+        y_qp.scale,
+        y_qp.zero_point,
+        -128,
+        127,
     );
-    c.bench_function("theorem1_fused_int_path", |bch| {
-        bch.iter(|| std::hint::black_box(quantized_spmm(&qa, &qx, f, &p)))
+    bench("theorem1_fused_int_path", || {
+        std::hint::black_box(quantized_spmm(&qa, &qx, f, &p));
     });
-    c.bench_function("naive_dequant_fp_requant_path", |bch| {
-        bch.iter(|| {
-            // Dequantize X, run the FP32 SpMM, requantize the output.
-            let xf: Vec<f32> = qx.iter().map(|&q| x_qp.dequantize(q)).collect();
-            let y = adj.spmm(&xf, f);
-            let qy: Vec<i32> = y.iter().map(|&v| y_qp.quantize(v)).collect();
-            std::hint::black_box(qy)
-        })
+    bench("naive_dequant_fp_requant_path", || {
+        // Dequantize X, run the FP32 SpMM, requantize the output.
+        let xf: Vec<f32> = qx.iter().map(|&q| x_qp.dequantize(q)).collect();
+        let y = adj.spmm(&xf, f);
+        let qy: Vec<i32> = y.iter().map(|&v| y_qp.quantize(v)).collect();
+        std::hint::black_box(qy);
     });
 }
 
-fn bench_relaxed_overhead(c: &mut Criterion) {
+fn bench_relaxed_overhead() {
     let ds = cora_like(1);
     let bundle = NodeBundle::new(&ds);
     let dims = [ds.feat_dim(), 32, ds.num_classes()];
@@ -52,80 +63,71 @@ fn bench_relaxed_overhead(c: &mut Criterion) {
     let mut ps_q = ParamSet::new();
     let mut rng = Rng::seed_from_u64(2);
     let a = BitAssignment::uniform(gcn_schema(2), 8);
-    let mut qnet =
-        QGcnNet::new(&mut ps_q, &dims, a, QuantKind::Native, &bundle.degrees, 0.0, &mut rng);
-    c.bench_function("fixed_bit_qat_forward", |bch| {
-        bch.iter(|| {
-            let mut tape = Tape::new();
-            let mut binding = Binding::new();
-            let mut rng = Rng::seed_from_u64(0);
-            let mut f = Fwd {
-                tape: &mut tape,
-                ps: &ps_q,
-                binding: &mut binding,
-                rng: &mut rng,
-                training: true,
-            };
-            let x = f.tape.constant(bundle.features.clone());
-            std::hint::black_box(qnet.forward(&mut f, &bundle, x));
-        })
+    let mut qnet = QGcnNet::new(
+        &mut ps_q,
+        &dims,
+        a,
+        QuantKind::Native,
+        &bundle.degrees,
+        0.0,
+        &mut rng,
+    );
+    bench("fixed_bit_qat_forward", || {
+        let mut tape = Tape::new();
+        let mut binding = Binding::new();
+        let mut rng = Rng::seed_from_u64(0);
+        let mut f = Fwd {
+            tape: &mut tape,
+            ps: &ps_q,
+            binding: &mut binding,
+            rng: &mut rng,
+            training: true,
+        };
+        let x = f.tape.constant(bundle.features.clone());
+        std::hint::black_box(qnet.forward(&mut f, &bundle, x));
     });
 
     let mut ps_r = ParamSet::new();
     let mut rng = Rng::seed_from_u64(2);
     let mut rnet = RelaxedGcnNet::new(&mut ps_r, &dims, &[2, 4, 8], 0.0, &mut rng);
-    c.bench_function("relaxed_forward_3_choices", |bch| {
-        bch.iter(|| {
-            let mut tape = Tape::new();
-            let mut binding = Binding::new();
-            let mut rng = Rng::seed_from_u64(0);
-            let mut f = Fwd {
-                tape: &mut tape,
-                ps: &ps_r,
-                binding: &mut binding,
-                rng: &mut rng,
-                training: true,
-            };
-            let x = f.tape.constant(bundle.features.clone());
-            std::hint::black_box(rnet.forward(&mut f, &bundle, x));
-        })
+    bench("relaxed_forward_3_choices", || {
+        let mut tape = Tape::new();
+        let mut binding = Binding::new();
+        let mut rng = Rng::seed_from_u64(0);
+        let mut f = Fwd {
+            tape: &mut tape,
+            ps: &ps_r,
+            binding: &mut binding,
+            rng: &mut rng,
+            training: true,
+        };
+        let x = f.tape.constant(bundle.features.clone());
+        std::hint::black_box(rnet.forward(&mut f, &bundle, x));
     });
 }
 
-fn bench_requantization(c: &mut Criterion) {
+fn bench_requantization() {
     let accs: Vec<i64> = (0..65_536).map(|i| (i as i64 - 32_768) * 1_001).collect();
     let real = 0.000_734_f64;
     let (m0, rshift) = quantize_multiplier(real);
-    c.bench_function("requant_fixed_point_64k", |bch| {
-        bch.iter(|| {
-            let mut s = 0i64;
-            for &a in &accs {
-                s = s.wrapping_add(fixed_point_multiply(a, m0, rshift));
-            }
-            std::hint::black_box(s)
-        })
+    bench("requant_fixed_point_64k", || {
+        let mut s = 0i64;
+        for &a in &accs {
+            s = s.wrapping_add(fixed_point_multiply(a, m0, rshift));
+        }
+        std::hint::black_box(s);
     });
-    c.bench_function("requant_float_64k", |bch| {
-        bch.iter(|| {
-            let mut s = 0i64;
-            for &a in &accs {
-                s = s.wrapping_add((a as f64 * real).round() as i64);
-            }
-            std::hint::black_box(s)
-        })
+    bench("requant_float_64k", || {
+        let mut s = 0i64;
+        for &a in &accs {
+            s = s.wrapping_add((a as f64 * real).round() as i64);
+        }
+        std::hint::black_box(s);
     });
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_millis(900))
-        .warm_up_time(std::time::Duration::from_millis(200))
+fn main() {
+    bench_theorem1_vs_naive();
+    bench_relaxed_overhead();
+    bench_requantization();
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_theorem1_vs_naive, bench_relaxed_overhead, bench_requantization
-}
-criterion_main!(benches);

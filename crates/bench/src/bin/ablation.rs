@@ -25,17 +25,32 @@ fn main() {
     for b in [4u8, 8] {
         let a = BitAssignment::uniform(gcn_schema(2), b);
         let aciq = run_quantized(&ds, &bundle, &exp, &a, QuantKind::Native);
-        t.row(&[format!("INT{b}"), "ACIQ-clipped observer".into(), pct(aciq.mean, aciq.std)]);
+        t.row(&[
+            format!("INT{b}"),
+            "ACIQ-clipped observer".into(),
+            pct(aciq.mean, aciq.std),
+        ]);
         let lsq = run_quantized(&ds, &bundle, &exp, &a, QuantKind::Lsq);
-        t.row(&[format!("INT{b}"), "LSQ learnable scale".into(), pct(lsq.mean, lsq.std)]);
+        t.row(&[
+            format!("INT{b}"),
+            "LSQ learnable scale".into(),
+            pct(lsq.mean, lsq.std),
+        ]);
         let dq_raw = run_quantized(
             &ds,
             &bundle,
             &exp,
             &a,
-            QuantKind::Dq { p_min: 0.0, p_max: 0.0 }, // percentile range, no protection
+            QuantKind::Dq {
+                p_min: 0.0,
+                p_max: 0.0,
+            }, // percentile range, no protection
         );
-        t.row(&[format!("INT{b}"), "percentile min/max".into(), pct(dq_raw.mean, dq_raw.std)]);
+        t.row(&[
+            format!("INT{b}"),
+            "percentile min/max".into(),
+            pct(dq_raw.mean, dq_raw.std),
+        ]);
     }
     t.print();
 

@@ -5,8 +5,8 @@
 use mixq_bench::{Args, Table};
 use mixq_graph::cora_like;
 use mixq_nn::{
-    spearman, train_node, AppnpNet, GatNet, GcnNet, GinNet, NodeBundle, ParamSet, SageNet,
-    SgcNet, TagNet, TrainConfig, UniMpNet,
+    spearman, train_node, AppnpNet, GatNet, GcnNet, GinNet, NodeBundle, ParamSet, SageNet, SgcNet,
+    TagNet, TrainConfig, UniMpNet,
 };
 use mixq_tensor::Rng;
 
@@ -102,6 +102,9 @@ fn main() {
         }
     }
     t.print();
-    println!("Spearman rank correlation (OPs vs accuracy): {:.2}", spearman(&xs, &ys));
+    println!(
+        "Spearman rank correlation (OPs vs accuracy): {:.2}",
+        spearman(&xs, &ys)
+    );
     println!("(paper reports 0.64 on real Cora)");
 }

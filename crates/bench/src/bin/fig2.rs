@@ -28,5 +28,8 @@ fn main() {
     }
     t.print();
     let above_fp32 = points.iter().filter(|p| p.acc >= 0.80).count();
-    println!("{above_fp32}/{} sampled quantized candidates reach ≥ 80% accuracy", points.len());
+    println!(
+        "{above_fp32}/{} sampled quantized candidates reach ≥ 80% accuracy",
+        points.len()
+    );
 }

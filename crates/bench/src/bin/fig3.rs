@@ -17,7 +17,11 @@ fn main() {
     eprintln!("[fig3] sweeping {samples} combinations × {runs} runs ...");
     let points = gcn_bit_sweep(&ds, &bundle, &[2, 4, 8], samples, runs, epochs);
     let front = pareto_front(&points);
-    println!("\nPareto front ({} of {} candidates):", front.len(), points.len());
+    println!(
+        "\nPareto front ({} of {} candidates):",
+        front.len(),
+        points.len()
+    );
     for &i in &front {
         println!(
             "  bits={:?} avg={:.2} acc={:.3}",

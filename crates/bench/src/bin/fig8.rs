@@ -41,8 +41,9 @@ fn main() {
         for bits in [8u8, 16, 32] {
             let (qa, sa) = quantize_csr_symmetric(&adj, bits.min(16));
             let (qmin, qmax) = mixq_tensor::QuantParams::int_range(bits.min(16));
-            let qx: Vec<i32> =
-                (0..n * feat).map(|_| qmin + rng.gen_range((qmax - qmin) as usize) as i32).collect();
+            let qx: Vec<i32> = (0..n * feat)
+                .map(|_| qmin + rng.gen_range((qmax - qmin) as usize) as i32)
+                .collect();
             let p = QmpParams::per_tensor(n, feat, sa, 0, 0.01, 3, 0.02, 0, qmin, qmax);
             let t0 = Instant::now();
             for _ in 0..reps {
@@ -69,11 +70,19 @@ fn main() {
         }
         let ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
         let gbitops = 2.0 * nnz * feat as f64 * 32.0 / 1e9;
-        t.row(&[name.into(), "FP32".into(), format!("{gbitops:.3}"), format!("{ms:.2}")]);
+        t.row(&[
+            name.into(),
+            "FP32".into(),
+            format!("{gbitops:.3}"),
+            format!("{ms:.2}"),
+        ]);
         xs.push(gbitops);
         ys.push(ms);
     }
     t.print();
-    println!("Pearson correlation (BitOPs vs time): {:.2}", pearson(&xs, &ys));
+    println!(
+        "Pearson correlation (BitOPs vs time): {:.2}",
+        pearson(&xs, &ys)
+    );
     println!("(paper: AMD 0.59, Apple M1 0.95, Intel 0.70)");
 }

@@ -45,7 +45,10 @@ fn main() {
         }
         out.push_str(line);
         out.push('\n');
-        if let Some(name) = line.strip_prefix("<!-- ").and_then(|l| l.strip_suffix(" -->")) {
+        if let Some(name) = line
+            .strip_prefix("<!-- ")
+            .and_then(|l| l.strip_suffix(" -->"))
+        {
             if name == "HEADLINE" {
                 continue; // written by hand in EXPERIMENTS.md
             }

@@ -27,7 +27,12 @@ fn main() {
 
     let mut t = Table::new(
         "Table 1 — complexity and measured parameter counts (3-layer GCN, arxiv-like)",
-        &["Method", "Space complexity", "Time complexity", "Learnable params"],
+        &[
+            "Method",
+            "Space complexity",
+            "Time complexity",
+            "Learnable params",
+        ],
     );
     t.row(&[
         "DQ".into(),

@@ -34,10 +34,16 @@ fn main() {
             ]);
         };
         row("Random", &run_random(&ds, &bundle, &exp, &[2, 4, 8], false));
-        row("Random + INT8", &run_random(&ds, &bundle, &exp, &[2, 4, 8], true));
+        row(
+            "Random + INT8",
+            &run_random(&ds, &bundle, &exp, &[2, 4, 8], true),
+        );
         let mut mexp = exp.clone();
         mexp.runs = args.runs_or(5);
-        row("MixQ (λ=1)", &run_mixq(&ds, &bundle, &mexp, &[2, 4, 8], 1.0, QuantKind::Native));
+        row(
+            "MixQ (λ=1)",
+            &run_mixq(&ds, &bundle, &mexp, &[2, 4, 8], 1.0, QuantKind::Native),
+        );
     }
     t.print();
 }

@@ -1,7 +1,9 @@
 //! Table 3: node classification with the GCN architecture — FP32, DQ (8/4
 //! bits), A²Q, and MixQ at λ ∈ {−ε, 0.1, 1}.
 
-use mixq_bench::{bits, gbops, pct, run_a2q, run_fp32, run_mixq, run_quantized, Args, NodeExp, Table};
+use mixq_bench::{
+    bits, gbops, pct, run_a2q, run_fp32, run_mixq, run_quantized, Args, NodeExp, Table,
+};
 use mixq_core::{gcn_schema, BitAssignment, QuantKind};
 use mixq_graph::{arxiv_like, citeseer_like, cora_like, pubmed_like};
 use mixq_nn::NodeBundle;
@@ -13,10 +15,18 @@ fn main() {
         &["Dataset", "Method", "Accuracy", "Bits", "GBitOPs"],
     );
     let eps = -1e-8f32;
-    let dq = QuantKind::Dq { p_min: 0.0, p_max: 0.2 };
+    let dq = QuantKind::Dq {
+        p_min: 0.0,
+        p_max: 0.2,
+    };
     let datasets: Vec<(&str, mixq_graph::NodeDataset, Vec<u8>, usize)> = vec![
         ("Cora", cora_like(42), vec![2, 4, 8], args.runs_or(5)),
-        ("CiteSeer", citeseer_like(42), vec![2, 4, 8], args.runs_or(5)),
+        (
+            "CiteSeer",
+            citeseer_like(42),
+            vec![2, 4, 8],
+            args.runs_or(5),
+        ),
         ("PubMed", pubmed_like(42), vec![2, 4, 8], args.runs_or(4)),
         ("OGB-Arxiv", arxiv_like(42), vec![4, 8], args.runs_or(3)),
     ];
@@ -44,9 +54,18 @@ fn main() {
         let a4 = BitAssignment::uniform(gcn_schema(2), 4);
         row("DQ (INT4)", &run_quantized(&ds, &bundle, &exp, &a4, dq));
         row("A2Q", &run_a2q(&ds, &bundle, &exp, (2, 4, 8)));
-        row("MixQ (λ=-1e-8)", &run_mixq(&ds, &bundle, &exp, &choices, eps, QuantKind::Native));
-        row("MixQ (λ=0.1)", &run_mixq(&ds, &bundle, &exp, &choices, 0.1, QuantKind::Native));
-        row("MixQ (λ=1)", &run_mixq(&ds, &bundle, &exp, &choices, 1.0, QuantKind::Native));
+        row(
+            "MixQ (λ=-1e-8)",
+            &run_mixq(&ds, &bundle, &exp, &choices, eps, QuantKind::Native),
+        );
+        row(
+            "MixQ (λ=0.1)",
+            &run_mixq(&ds, &bundle, &exp, &choices, 0.1, QuantKind::Native),
+        );
+        row(
+            "MixQ (λ=1)",
+            &run_mixq(&ds, &bundle, &exp, &choices, 1.0, QuantKind::Native),
+        );
     }
     t.print();
 }

@@ -16,7 +16,10 @@ fn main() {
         exp.search.epochs = 30;
         exp.search.warmup = 15;
     }
-    let dq = QuantKind::Dq { p_min: 0.0, p_max: 0.2 };
+    let dq = QuantKind::Dq {
+        p_min: 0.0,
+        p_max: 0.2,
+    };
     let mut t = Table::new(
         "Table 4 — MixQ vs MixQ+DQ on Cora (2-layer GCN, bits {2,4,8})",
         &["Method", "Accuracy", "Bits", "GBitOPs"],

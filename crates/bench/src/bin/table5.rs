@@ -8,7 +8,10 @@ use mixq_nn::NodeBundle;
 
 fn main() {
     let args = Args::parse();
-    let dq = QuantKind::Dq { p_min: 0.0, p_max: 0.2 };
+    let dq = QuantKind::Dq {
+        p_min: 0.0,
+        p_max: 0.2,
+    };
     let mut t = Table::new(
         "Table 5 — A²Q vs MixQ+DQ (2-layer GCN)",
         &["Dataset", "Method", "Accuracy", "GBitOPs"],
@@ -27,9 +30,19 @@ fn main() {
             exp.search.warmup = 15;
         }
         let a2q = run_a2q(&ds, &bundle, &exp, (2, 4, 8));
-        t.row(&[name.into(), "A2Q".into(), pct(a2q.mean, a2q.std), gbops(a2q.gbitops)]);
+        t.row(&[
+            name.into(),
+            "A2Q".into(),
+            pct(a2q.mean, a2q.std),
+            gbops(a2q.gbitops),
+        ]);
         let mq = run_mixq(&ds, &bundle, &exp, &[2, 4, 8], 0.1, dq);
-        t.row(&[name.into(), "MixQ + DQ".into(), pct(mq.mean, mq.std), gbops(mq.gbitops)]);
+        t.row(&[
+            name.into(),
+            "MixQ + DQ".into(),
+            pct(mq.mean, mq.std),
+            gbops(mq.gbitops),
+        ]);
     }
     t.print();
 }

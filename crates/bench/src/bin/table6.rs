@@ -36,8 +36,14 @@ fn main() {
             ]);
         };
         row("FP32", &run_fp32(&ds, &bundle, &exp));
-        row("MixQ (λ=0.1)", &run_mixq(&ds, &bundle, &exp, &[2, 4, 8], 0.1, QuantKind::Native));
-        row("MixQ (λ=1)", &run_mixq(&ds, &bundle, &exp, &[2, 4, 8], 1.0, QuantKind::Native));
+        row(
+            "MixQ (λ=0.1)",
+            &run_mixq(&ds, &bundle, &exp, &[2, 4, 8], 0.1, QuantKind::Native),
+        );
+        row(
+            "MixQ (λ=1)",
+            &run_mixq(&ds, &bundle, &exp, &[2, 4, 8], 1.0, QuantKind::Native),
+        );
     }
     t.print();
 }

@@ -10,7 +10,13 @@ fn main() {
     let args = Args::parse();
     let mut t = Table::new(
         "Table 7 — large-scale GraphSAGE (hidden 32)",
-        &["Dataset", "λ / precision", "Acc / ROC-AUC", "Bits", "GBitOPs"],
+        &[
+            "Dataset",
+            "λ / precision",
+            "Acc / ROC-AUC",
+            "Bits",
+            "GBitOPs",
+        ],
     );
     for (name, ds) in [
         ("Reddit", reddit_like(42)),
@@ -34,10 +40,22 @@ fn main() {
             }
         };
         let c = run_fp32(&ds, &bundle, &exp);
-        t.row(&[name.into(), "FP32".into(), fmt(&c), bits(c.avg_bits), gbops(c.gbitops)]);
+        t.row(&[
+            name.into(),
+            "FP32".into(),
+            fmt(&c),
+            bits(c.avg_bits),
+            gbops(c.gbitops),
+        ]);
         for (lname, lambda) in [("-1e-8", -1e-8f32), ("0.1", 0.1), ("1", 1.0)] {
             let c = run_mixq(&ds, &bundle, &exp, &[2, 4, 8], lambda, QuantKind::Native);
-            t.row(&[name.into(), lname.into(), fmt(&c), bits(c.avg_bits), gbops(c.gbitops)]);
+            t.row(&[
+                name.into(),
+                lname.into(),
+                fmt(&c),
+                bits(c.avg_bits),
+                gbops(c.gbitops),
+            ]);
         }
     }
     t.print();

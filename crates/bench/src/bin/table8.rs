@@ -13,14 +13,17 @@ fn main() {
         "Table 8 — graph classification, 5-layer GIN, k-fold CV",
         &["Dataset", "Method", "Accuracy", "Bits", "GBitOPs"],
     );
-    let dq = QuantKind::Dq { p_min: 0.0, p_max: 0.2 };
+    let dq = QuantKind::Dq {
+        p_min: 0.0,
+        p_max: 0.2,
+    };
     let sets: Vec<(&str, mixq_graph::GraphDataset, Vec<u8>)> = vec![
         ("IMDB-B", imdb_b_like(42, 300), vec![4, 8]),
         ("PROTEINS", proteins_like(42, 300), vec![4, 8]),
         ("D&D", dd_like(42, 150), vec![4, 8]),
         ("REDDIT-B", reddit_b_like(42, 200), vec![8, 16]),
         ("REDDIT-M", reddit_m_like(42, 250), vec![8, 16]),
-    ] ;
+    ];
     for (name, ds, choices) in sets {
         eprintln!("[table8] {name} ...");
         let mut exp = GraphExp::gin_table8(folds);
@@ -50,12 +53,28 @@ fn main() {
             "DQ (INT8)",
             &GraphMethod::Fixed(BitAssignment::uniform(schema.clone(), 8), dq),
         );
-        row("A2Q", &GraphMethod::A2q { lo: 4, mid: 4, hi: 8 });
+        row(
+            "A2Q",
+            &GraphMethod::A2q {
+                lo: 4,
+                mid: 4,
+                hi: 8,
+            },
+        );
         row(
             "MixQ (λ*)",
-            &GraphMethod::MixQ { choices: choices.clone(), lambda: -1e-8 },
+            &GraphMethod::MixQ {
+                choices: choices.clone(),
+                lambda: -1e-8,
+            },
         );
-        row("MixQ (λ=1)", &GraphMethod::MixQ { choices, lambda: 1.0 });
+        row(
+            "MixQ (λ=1)",
+            &GraphMethod::MixQ {
+                choices,
+                lambda: 1.0,
+            },
+        );
     }
     t.print();
 }

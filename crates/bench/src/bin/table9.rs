@@ -26,8 +26,20 @@ fn main() {
             "QAT - INT4",
             GraphMethod::Fixed(BitAssignment::uniform(schema.clone(), 4), QuantKind::Native),
         ),
-        ("MixQ (λ=-1e-3)", GraphMethod::MixQ { choices: vec![2, 4, 8], lambda: -1e-3 }),
-        ("MixQ (λ=0)", GraphMethod::MixQ { choices: vec![2, 4, 8], lambda: 0.0 }),
+        (
+            "MixQ (λ=-1e-3)",
+            GraphMethod::MixQ {
+                choices: vec![2, 4, 8],
+                lambda: -1e-3,
+            },
+        ),
+        (
+            "MixQ (λ=0)",
+            GraphMethod::MixQ {
+                choices: vec![2, 4, 8],
+                lambda: 0.0,
+            },
+        ),
     ];
     for (name, method) in methods {
         eprintln!("[table9] {name} ...");

@@ -40,8 +40,20 @@ impl GraphExp {
             hidden: 32,
             layers: 5,
             folds,
-            train: TrainConfig { epochs: 80, lr: 0.01, weight_decay: 1e-4, seed: 0, patience: 0 },
-            search: SearchConfig { epochs: 50, lr: 0.01, lambda: 0.1, seed: 0, warmup: 25 },
+            train: TrainConfig {
+                epochs: 80,
+                lr: 0.01,
+                weight_decay: 1e-4,
+                seed: 0,
+                patience: 0,
+            },
+            search: SearchConfig {
+                epochs: 50,
+                lr: 0.01,
+                lambda: 0.1,
+                seed: 0,
+                warmup: 25,
+            },
         }
     }
 
@@ -51,8 +63,20 @@ impl GraphExp {
             hidden: 32,
             layers: 4,
             folds,
-            train: TrainConfig { epochs: 120, lr: 0.01, weight_decay: 1e-4, seed: 0, patience: 0 },
-            search: SearchConfig { epochs: 60, lr: 0.01, lambda: 0.0, seed: 0, warmup: 30 },
+            train: TrainConfig {
+                epochs: 120,
+                lr: 0.01,
+                weight_decay: 1e-4,
+                seed: 0,
+                patience: 0,
+            },
+            search: SearchConfig {
+                epochs: 60,
+                lr: 0.01,
+                lambda: 0.0,
+                seed: 0,
+                warmup: 30,
+            },
         }
     }
 }
@@ -62,8 +86,15 @@ pub enum GraphMethod {
     Fp32,
     Fixed(BitAssignment, QuantKind),
     /// MixQ: per-fold relaxed search with this λ, then QAT.
-    MixQ { choices: Vec<u8>, lambda: f32 },
-    A2q { lo: u8, mid: u8, hi: u8 },
+    MixQ {
+        choices: Vec<u8>,
+        lambda: f32,
+    },
+    A2q {
+        lo: u8,
+        mid: u8,
+        hi: u8,
+    },
 }
 
 /// Per-fold accuracies plus averaged efficiency numbers.
@@ -76,7 +107,13 @@ pub struct CvOutcome {
 impl CvOutcome {
     pub fn cell(&self) -> CellResult {
         let (mean, std) = mean_std(&self.accs);
-        CellResult { mean, std, avg_bits: self.avg_bits, gbitops: self.gbitops, assignment: None }
+        CellResult {
+            mean,
+            std,
+            avg_bits: self.avg_bits,
+            gbitops: self.gbitops,
+            assignment: None,
+        }
     }
 
     pub fn min(&self) -> f64 {
@@ -160,7 +197,10 @@ fn run_fold(
     test: &GraphBundle,
     seed: u64,
 ) -> (f64, f64, f64) {
-    let cfg = TrainConfig { seed, ..exp.train.clone() };
+    let cfg = TrainConfig {
+        seed,
+        ..exp.train.clone()
+    };
     match method {
         GraphMethod::Fp32 => {
             let a = BitAssignment::uniform(schema(exp), 32);
@@ -199,7 +239,11 @@ fn run_fold(
             (acc, bits, gb)
         }
         GraphMethod::MixQ { choices, lambda } => {
-            let scfg = SearchConfig { lambda: *lambda, seed, ..exp.search.clone() };
+            let scfg = SearchConfig {
+                lambda: *lambda,
+                seed,
+                ..exp.search.clone()
+            };
             let a = match exp.arch {
                 GraphArch::Gin => search_gin_graph_bits(
                     train,
@@ -227,7 +271,11 @@ fn run_fold(
         GraphMethod::A2q { lo, mid, hi } => {
             let a = BitAssignment::uniform(schema(exp), 8);
             let (_, gb8) = cost(exp, ds, &a);
-            let kind = QuantKind::A2q { lo: *lo, mid: *mid, hi: *hi };
+            let kind = QuantKind::A2q {
+                lo: *lo,
+                mid: *mid,
+                hi: *hi,
+            };
             let acc = train_fixed(ds, exp, a, kind, train, test, &cfg);
             // Avg bits from the degree-tier allocation over the train batch;
             // BitOPs = INT8 compute + dynamic-precision marshalling (30 % of

@@ -5,6 +5,7 @@ pub mod graph_runner;
 pub mod runner;
 pub mod sweep;
 pub mod table;
+pub mod timing;
 
 pub use graph_runner::{run_graph_cv, CvOutcome, GraphArch, GraphExp, GraphMethod};
 pub use runner::{
@@ -12,6 +13,7 @@ pub use runner::{
 };
 pub use sweep::{gcn_bit_sweep, pareto_front, SweepPoint};
 pub use table::{bits, frac, gbops, pct, Table};
+pub use timing::{bench, format_ns, median_ns_per_iter};
 
 /// Parses `--runs N` and `--quick` style flags shared by all binaries.
 pub struct Args {
@@ -54,11 +56,20 @@ mod tests {
 
     #[test]
     fn runs_or_prefers_explicit_then_quick_then_default() {
-        let explicit = Args { runs: Some(7), quick: true };
+        let explicit = Args {
+            runs: Some(7),
+            quick: true,
+        };
         assert_eq!(explicit.runs_or(5), 7, "--runs wins over --quick");
-        let quick = Args { runs: None, quick: true };
+        let quick = Args {
+            runs: None,
+            quick: true,
+        };
         assert_eq!(quick.runs_or(5), 2);
-        let default = Args { runs: None, quick: false };
+        let default = Args {
+            runs: None,
+            quick: false,
+        };
         assert_eq!(default.runs_or(5), 5);
     }
 }

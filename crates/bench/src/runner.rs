@@ -1,8 +1,8 @@
 //! Shared experiment runners: each paper table/figure binary composes these.
 
 use mixq_core::{
-    gcn_cost_model, sage_cost_model, search_gcn_bits, search_sage_bits, BitAssignment,
-    CostModel, QGcnNet, QSageNet, QuantKind, SearchConfig,
+    gcn_cost_model, sage_cost_model, search_gcn_bits, search_sage_bits, BitAssignment, CostModel,
+    QGcnNet, QSageNet, QuantKind, SearchConfig,
 };
 use mixq_graph::NodeDataset;
 use mixq_nn::{
@@ -25,7 +25,13 @@ pub struct CellResult {
 impl CellResult {
     pub fn from_runs(metrics: &[f64], avg_bits: f64, gbitops: f64) -> Self {
         let (mean, std) = mean_std(metrics);
-        Self { mean, std, avg_bits, gbitops, assignment: None }
+        Self {
+            mean,
+            std,
+            avg_bits,
+            gbitops,
+            assignment: None,
+        }
     }
 }
 
@@ -53,14 +59,29 @@ impl NodeExp {
             arch: NodeArch::Gcn,
             hidden: vec![hidden],
             dropout: 0.5,
-            train: TrainConfig { epochs: 150, lr: 0.01, weight_decay: 5e-4, seed: 0, patience: 40 },
-            search: SearchConfig { epochs: 60, lr: 0.01, lambda: 0.1, seed: 0, warmup: 30 },
+            train: TrainConfig {
+                epochs: 150,
+                lr: 0.01,
+                weight_decay: 5e-4,
+                seed: 0,
+                patience: 40,
+            },
+            search: SearchConfig {
+                epochs: 60,
+                lr: 0.01,
+                lambda: 0.1,
+                seed: 0,
+                warmup: 30,
+            },
             runs,
         }
     }
 
     pub fn sage(hidden: usize, runs: usize) -> Self {
-        Self { arch: NodeArch::Sage, ..Self::gcn(hidden, runs) }
+        Self {
+            arch: NodeArch::Sage,
+            ..Self::gcn(hidden, runs)
+        }
     }
 
     pub fn dims(&self, ds: &NodeDataset) -> Vec<usize> {
@@ -78,12 +99,7 @@ fn fp32_assignment(arch: NodeArch, nlayers: usize) -> BitAssignment {
     }
 }
 
-fn cost_for(
-    arch: NodeArch,
-    a: &BitAssignment,
-    dims: &[usize],
-    ds: &NodeDataset,
-) -> CostModel {
+fn cost_for(arch: NodeArch, a: &BitAssignment, dims: &[usize], ds: &NodeDataset) -> CostModel {
     let n = ds.num_nodes() as u64;
     // GCN uses Â (adds self-loops); SAGE uses D⁻¹A.
     let nnz = match arch {
@@ -104,7 +120,10 @@ pub fn run_fp32(ds: &NodeDataset, bundle: &NodeBundle, exp: &NodeExp) -> CellRes
             let seed = exp.train.seed + run as u64;
             let mut rng = Rng::seed_from_u64(seed ^ 0xF32);
             let mut ps = ParamSet::new();
-            let cfg = TrainConfig { seed, ..exp.train.clone() };
+            let cfg = TrainConfig {
+                seed,
+                ..exp.train.clone()
+            };
             let rep: TrainReport = match exp.arch {
                 NodeArch::Gcn => {
                     let mut net = GcnNet::new(&mut ps, &dims, exp.dropout, &mut rng);
@@ -156,7 +175,10 @@ fn train_one_quantized(
 ) -> f64 {
     let mut rng = Rng::seed_from_u64(seed ^ 0x0A7);
     let mut ps = ParamSet::new();
-    let cfg = TrainConfig { seed, ..exp.train.clone() };
+    let cfg = TrainConfig {
+        seed,
+        ..exp.train.clone()
+    };
     match exp.arch {
         NodeArch::Gcn => {
             let mut net = QGcnNet::new(
@@ -202,12 +224,24 @@ pub fn run_mixq(
     let mut gbit_acc = 0.0;
     for run in 0..exp.runs {
         let seed = exp.train.seed + run as u64;
-        let scfg = SearchConfig { lambda, seed, ..exp.search.clone() };
+        let scfg = SearchConfig {
+            lambda,
+            seed,
+            ..exp.search.clone()
+        };
         let assignment = match exp.arch {
             NodeArch::Gcn => search_gcn_bits(ds, bundle, &dims, bit_choices, exp.dropout, &scfg),
             NodeArch::Sage => search_sage_bits(ds, bundle, &dims, bit_choices, exp.dropout, &scfg),
         };
-        metrics.push(train_one_quantized(ds, bundle, exp, &dims, assignment.clone(), kind, seed));
+        metrics.push(train_one_quantized(
+            ds,
+            bundle,
+            exp,
+            &dims,
+            assignment.clone(),
+            kind,
+            seed,
+        ));
         let cm = cost_for(exp.arch, &assignment, &dims, ds);
         bits_acc += cm.avg_bits();
         gbit_acc += cm.gbit_ops();
@@ -240,7 +274,11 @@ pub fn run_a2q(
         NodeArch::Gcn => BitAssignment::uniform(mixq_core::gcn_schema(nlayers), 8),
         NodeArch::Sage => BitAssignment::uniform(mixq_core::sage_schema(nlayers), 8),
     };
-    let kind = QuantKind::A2q { lo: tiers.0, mid: tiers.1, hi: tiers.2 };
+    let kind = QuantKind::A2q {
+        lo: tiers.0,
+        mid: tiers.1,
+        hi: tiers.2,
+    };
     let metrics: Vec<f64> = (0..exp.runs)
         .map(|run| {
             let seed = exp.train.seed + run as u64;
@@ -298,7 +336,15 @@ pub fn run_random(
             let last = a.len() - 1;
             a.bits[last] = 8;
         }
-        metrics.push(train_one_quantized(ds, bundle, exp, &dims, a.clone(), QuantKind::Native, seed));
+        metrics.push(train_one_quantized(
+            ds,
+            bundle,
+            exp,
+            &dims,
+            a.clone(),
+            QuantKind::Native,
+            seed,
+        ));
         let cm = cost_for(exp.arch, &a, &dims, ds);
         bits_acc += cm.avg_bits();
         gbit_acc += cm.gbit_ops();

@@ -31,8 +31,10 @@ pub fn gcn_bit_sweep(
     let dims = vec![ds.feat_dim(), 64, ds.num_classes()];
     let schema = gcn_schema(2);
     let mut rng = Rng::seed_from_u64(0xF160);
-    let mut combos: Vec<BitAssignment> =
-        choices.iter().map(|&b| BitAssignment::uniform(schema.clone(), b)).collect();
+    let mut combos: Vec<BitAssignment> = choices
+        .iter()
+        .map(|&b| BitAssignment::uniform(schema.clone(), b))
+        .collect();
     for _ in 0..samples.saturating_sub(combos.len()) {
         combos.push(BitAssignment::random(schema.clone(), choices, &mut rng));
     }
@@ -68,7 +70,12 @@ pub fn gcn_bit_sweep(
             }
             let (acc, _) = mean_std(&accs);
             let cm = gcn_cost_model(&a, &dims, n, nnz);
-            SweepPoint { bits: a.bits, avg_bits: cm.avg_bits(), acc, gbitops: cm.gbit_ops() }
+            SweepPoint {
+                bits: a.bits,
+                avg_bits: cm.avg_bits(),
+                acc,
+                gbitops: cm.gbit_ops(),
+            }
         })
         .collect()
 }
@@ -103,7 +110,13 @@ mod tests {
             acc,
             gbitops: 0.0,
         };
-        let pts = vec![mk(2.0, 0.5), mk(4.0, 0.8), mk(4.0, 0.6), mk(8.0, 0.8), mk(3.0, 0.7)];
+        let pts = vec![
+            mk(2.0, 0.5),
+            mk(4.0, 0.8),
+            mk(4.0, 0.6),
+            mk(8.0, 0.8),
+            mk(3.0, 0.7),
+        ];
         let front = pareto_front(&pts);
         // (4.0, 0.6) dominated by (4.0, 0.8) and (3.0, 0.7); (8.0, 0.8)
         // dominated by (4.0, 0.8).

@@ -1,0 +1,83 @@
+//! Minimal wall-clock benchmarking harness.
+//!
+//! The offline build environment cannot fetch Criterion, so the bench
+//! targets use this self-contained runner instead: calibrate an iteration
+//! count that fills a fixed batch duration, take several batch samples,
+//! and report the median per-iteration time (the median is robust to the
+//! occasional scheduler hiccup that would skew a mean).
+
+use std::time::{Duration, Instant};
+
+/// Batch samples taken per benchmark; the median is reported.
+pub const SAMPLES: usize = 7;
+
+/// Target wall-clock duration of one calibration/sample batch.
+pub const BATCH: Duration = Duration::from_millis(25);
+
+/// Median nanoseconds per call of `f`, measured over [`SAMPLES`] batches of
+/// a calibrated iteration count.
+pub fn median_ns_per_iter(mut f: impl FnMut()) -> f64 {
+    // Calibrate: double the iteration count until one batch fills BATCH.
+    let mut iters = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        if t.elapsed() >= BATCH || iters >= 1 << 24 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    let mut samples = [0f64; SAMPLES];
+    for s in samples.iter_mut() {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        *s = t.elapsed().as_nanos() as f64 / iters as f64;
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[SAMPLES / 2]
+}
+
+/// Runs `f` under [`median_ns_per_iter`], prints one aligned result line,
+/// and returns the median ns/iter (callers use it for speedup ratios).
+pub fn bench(name: &str, f: impl FnMut()) -> f64 {
+    let ns = median_ns_per_iter(f);
+    println!("{name:<44} {:>12}/iter", format_ns(ns));
+    ns
+}
+
+/// Human-readable duration from nanoseconds.
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_ns_picks_sensible_units() {
+        assert_eq!(format_ns(12.34), "12.3 ns");
+        assert_eq!(format_ns(12_340.0), "12.34 µs");
+        assert_eq!(format_ns(12_340_000.0), "12.34 ms");
+        assert_eq!(format_ns(2_500_000_000.0), "2.500 s");
+    }
+
+    #[test]
+    fn median_measures_positive_time() {
+        let mut x = 0u64;
+        let ns = median_ns_per_iter(|| x = x.wrapping_add(std::hint::black_box(1)));
+        assert!(ns > 0.0);
+    }
+}

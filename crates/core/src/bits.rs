@@ -28,7 +28,10 @@ pub struct BitAssignment {
 impl BitAssignment {
     pub fn uniform(names: Vec<String>, bits: u8) -> Self {
         let n = names.len();
-        Self { names, bits: vec![bits; n] }
+        Self {
+            names,
+            bits: vec![bits; n],
+        }
     }
 
     pub fn new(names: Vec<String>, bits: Vec<u8>) -> Self {
@@ -39,7 +42,9 @@ impl BitAssignment {
     /// Uniform-random assignment from `choices` (the Random baseline of the
     /// ablation, Table 10).
     pub fn random(names: Vec<String>, choices: &[u8], rng: &mut Rng) -> Self {
-        let bits = (0..names.len()).map(|_| choices[rng.gen_range(choices.len())]).collect();
+        let bits = (0..names.len())
+            .map(|_| choices[rng.gen_range(choices.len())])
+            .collect();
         Self { names, bits }
     }
 
@@ -92,8 +97,9 @@ impl BitAssignment {
             if line.is_empty() {
                 continue;
             }
-            let (name, b) =
-                line.split_once('=').ok_or_else(|| format!("line {lineno}: missing '='"))?;
+            let (name, b) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {lineno}: missing '='"))?;
             names.push(name.to_string());
             bits.push(
                 b.trim()
@@ -239,7 +245,11 @@ mod complexity_tests {
         let mixq = ps_r.num_scalars();
         let mixq_extra = mixq - fp32;
         // 3 layers × 4 quantizers + 1 input quantizer = 13 α-vectors of 3.
-        assert_eq!(mixq_extra, 13 * 3, "MixQ adds one α per (component, bit choice)");
+        assert_eq!(
+            mixq_extra,
+            13 * 3,
+            "MixQ adds one α per (component, bit choice)"
+        );
 
         let a2q_extra = A2qQuantizer::extra_params_for(n_nodes) * 3;
         assert!(

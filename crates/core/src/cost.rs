@@ -43,13 +43,21 @@ impl CostModel {
     }
 
     pub fn add_component(&mut self, name: impl Into<String>, numel: u64, bits: u8) {
-        self.components.push(Component { name: name.into(), numel, bits });
+        self.components.push(Component {
+            name: name.into(),
+            numel,
+            bits,
+        });
     }
 
     /// Records a function executing `macs` multiply–accumulates whose
     /// operands have widths `ba` and `bb` (execution width = max).
     pub fn add_macs(&mut self, name: impl Into<String>, macs: u64, ba: u8, bb: u8) {
-        self.ops.push(OpTerm { name: name.into(), macs, bits: ba.max(bb) });
+        self.ops.push(OpTerm {
+            name: name.into(),
+            macs,
+            bits: ba.max(bb),
+        });
     }
 
     /// Element-weighted average bit-width over all components.
@@ -58,8 +66,11 @@ impl CostModel {
         if total == 0 {
             return 0.0;
         }
-        let weighted: f64 =
-            self.components.iter().map(|c| c.numel as f64 * c.bits as f64).sum();
+        let weighted: f64 = self
+            .components
+            .iter()
+            .map(|c| c.numel as f64 * c.bits as f64)
+            .sum();
         weighted / total as f64
     }
 
@@ -70,7 +81,10 @@ impl CostModel {
 
     /// Total bit operations.
     pub fn bit_ops(&self) -> f64 {
-        self.ops.iter().map(|t| 2.0 * t.macs as f64 * t.bits as f64).sum()
+        self.ops
+            .iter()
+            .map(|t| 2.0 * t.macs as f64 * t.bits as f64)
+            .sum()
     }
 
     /// BitOPs in units of 10⁹ (the "GBitOPs" column).
@@ -98,7 +112,10 @@ mod tests {
         fp.add_macs("mm", 1000, 32, 32);
         let mut q = CostModel::new();
         q.add_macs("mm", 1000, 8, 8);
-        assert!((fp.bit_ops() / q.bit_ops() - 4.0).abs() < 1e-12, "32→8 bits = 4× fewer BitOPs");
+        assert!(
+            (fp.bit_ops() / q.bit_ops() - 4.0).abs() < 1e-12,
+            "32→8 bits = 4× fewer BitOPs"
+        );
         assert_eq!(fp.total_ops(), q.total_ops());
     }
 
@@ -126,7 +143,12 @@ mod model_level_tests {
         // End-to-end sanity on the paper's headline metric: uniform INT8
         // costs exactly a quarter of FP32's bit operations (same op count).
         let dims = [128usize, 64, 7];
-        let fp = gcn_cost_model(&BitAssignment::uniform(gcn_schema(2), 32), &dims, 1000, 5000);
+        let fp = gcn_cost_model(
+            &BitAssignment::uniform(gcn_schema(2), 32),
+            &dims,
+            1000,
+            5000,
+        );
         let q8 = gcn_cost_model(&BitAssignment::uniform(gcn_schema(2), 8), &dims, 1000, 5000);
         assert_eq!(fp.total_ops(), q8.total_ops());
         assert!((fp.bit_ops() / q8.bit_ops() - 4.0).abs() < 1e-9);

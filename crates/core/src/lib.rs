@@ -48,7 +48,7 @@ pub use relaxed::{
     RelaxedAdjQuantizer, RelaxedGcnGraphNet, RelaxedGcnNet, RelaxedGinGraphNet, RelaxedQuantizer,
     RelaxedSageNet,
 };
-pub use theorem1::{quantized_matmul_dense, quantized_spmm, QmpParams};
 pub use search::{
     search_gcn_bits, search_gcn_graph_bits, search_gin_graph_bits, search_sage_bits, SearchConfig,
 };
+pub use theorem1::{quantized_matmul_dense, quantized_spmm, QmpParams};

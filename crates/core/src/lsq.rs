@@ -24,7 +24,12 @@ pub struct LsqQuantizer {
 
 impl LsqQuantizer {
     pub fn new(ps: &mut ParamSet, bits: u8) -> Self {
-        Self { scale: ps.add(Matrix::scalar(1.0)), bits, base: 1.0, initialized: false }
+        Self {
+            scale: ps.add(Matrix::scalar(1.0)),
+            bits,
+            base: 1.0,
+            initialized: false,
+        }
     }
 
     pub fn is_identity(&self) -> bool {
@@ -38,8 +43,7 @@ impl LsqQuantizer {
         let (qmin, qmax) = QuantParams::int_range(self.bits);
         if !self.initialized {
             let xm = f.tape.value(x);
-            let mean_abs =
-                xm.data().iter().map(|v| v.abs()).sum::<f32>() / xm.numel() as f32;
+            let mean_abs = xm.data().iter().map(|v| v.abs()).sum::<f32>() / xm.numel() as f32;
             self.base = (2.0 * mean_abs / (qmax as f32).sqrt()).max(1e-6);
             self.initialized = true;
         }
@@ -138,7 +142,10 @@ mod tests {
         let s = q.qparams(&ps).scale;
         // 4-bit qmax = 7; covering ±2 needs s ≈ 2/7 ≈ 0.29 (the MSE optimum
         // sits slightly below). The effective scale must land in that band.
-        assert!((0.18..0.4).contains(&s), "learned scale {s} not in the optimal band");
+        assert!(
+            (0.18..0.4).contains(&s),
+            "learned scale {s} not in the optimal band"
+        );
     }
 
     #[test]

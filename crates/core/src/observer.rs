@@ -29,7 +29,14 @@ impl Default for Observer {
 
 impl Observer {
     pub fn new() -> Self {
-        Self { min: 0.0, max: 0.0, mean: 0.0, var: 0.0, initialized: false, ema: 0.05 }
+        Self {
+            min: 0.0,
+            max: 0.0,
+            mean: 0.0,
+            var: 0.0,
+            initialized: false,
+            ema: 0.05,
+        }
     }
 
     pub fn with_ema(ema: f32) -> Self {
@@ -72,7 +79,12 @@ impl Observer {
     pub fn observe(&mut self, m: &Matrix) {
         let n = m.numel() as f32;
         let mean = m.sum() / n;
-        let var = m.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let var = m
+            .data()
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / n;
         self.update_full(m.min(), m.max(), mean, var);
     }
 
@@ -165,7 +177,10 @@ mod tests {
         o.observe(&Matrix::from_vec(1, 2, vec![0.0, 4.0]));
         o.observe(&Matrix::from_vec(1, 2, vec![0.0, 8.0]));
         let (_, hi) = o.range();
-        assert!((hi - 6.0).abs() < 1e-6, "EMA of 4 and 8 at 0.5 is 6, got {hi}");
+        assert!(
+            (hi - 6.0).abs() < 1e-6,
+            "EMA of 4 and 8 at 0.5 is 6, got {hi}"
+        );
     }
 
     #[test]

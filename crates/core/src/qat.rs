@@ -75,9 +75,7 @@ impl FakeQuantizer {
         if f.training || !self.observer.is_initialized() {
             match self.policy {
                 RangePolicy::MinMax => self.observer.observe(f.tape.value(x)),
-                RangePolicy::Percentile(p) => {
-                    self.observer.observe_percentile(f.tape.value(x), p)
-                }
+                RangePolicy::Percentile(p) => self.observer.observe_percentile(f.tape.value(x), p),
             }
         }
         let qp = self.qparams();
@@ -96,7 +94,13 @@ mod tests {
         let mut tape = Tape::new();
         let mut binding = Binding::new();
         let mut rng = Rng::seed_from_u64(0);
-        let mut f = Fwd { tape: &mut tape, ps: &ps, binding: &mut binding, rng: &mut rng, training };
+        let mut f = Fwd {
+            tape: &mut tape,
+            ps: &ps,
+            binding: &mut binding,
+            rng: &mut rng,
+            training,
+        };
         let xv = f.tape.constant(x);
         let y = q.forward(&mut f, xv);
         tape.value(y).clone()

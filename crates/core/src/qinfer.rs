@@ -23,23 +23,24 @@ pub struct QTensor {
 }
 
 impl QTensor {
-    /// Quantizes a real matrix.
+    /// Quantizes a real matrix (element-wise, parallelized over chunks;
+    /// bit-identical to the serial map).
     pub fn quantize(m: &Matrix, qp: QuantParams) -> Self {
+        let mut data = vec![0i32; m.numel()];
+        mixq_parallel::par_map_slice(m.data(), &mut data, |v| qp.quantize(v));
         Self {
             rows: m.rows(),
             cols: m.cols(),
-            data: m.data().iter().map(|&v| qp.quantize(v)).collect(),
+            data,
             qp,
         }
     }
 
-    /// Dequantizes back to a real matrix.
+    /// Dequantizes back to a real matrix (element-wise, parallelized).
     pub fn dequantize(&self) -> Matrix {
-        Matrix::from_vec(
-            self.rows,
-            self.cols,
-            self.data.iter().map(|&q| self.qp.dequantize(q)).collect(),
-        )
+        let mut data = vec![0f32; self.data.len()];
+        mixq_parallel::par_map_slice(&self.data, &mut data, |q| self.qp.dequantize(q));
+        Matrix::from_vec(self.rows, self.cols, data)
     }
 
     /// Integer ReLU: real 0 corresponds to the zero-point code.
@@ -55,7 +56,10 @@ impl QTensor {
 /// `m0 ∈ [2^30, 2^31)` — the fixed-point representation used to requantize
 /// accumulators without floating point.
 pub fn quantize_multiplier(real: f64) -> (i32, i32) {
-    assert!(real > 0.0 && real.is_finite(), "multiplier must be positive, got {real}");
+    assert!(
+        real > 0.0 && real.is_finite(),
+        "multiplier must be positive, got {real}"
+    );
     // frexp: real = mant · 2^exp with mant ∈ [0.5, 1).
     let exp = real.log2().floor() as i32 + 1;
     let mant = real / 2f64.powi(exp);
@@ -67,7 +71,10 @@ pub fn quantize_multiplier(real: f64) -> (i32, i32) {
         exp += 1;
     }
     let rshift = -exp;
-    assert!(31 + rshift >= 1, "multiplier {real} too large for fixed-point requantization");
+    assert!(
+        31 + rshift >= 1,
+        "multiplier {real} too large for fixed-point requantization"
+    );
     (m0 as i32, rshift)
 }
 
@@ -97,32 +104,43 @@ pub fn int_matmul_requant(
     let bias_int: Vec<i64> = match bias {
         Some(b) => {
             assert_eq!(b.len(), w.cols);
-            b.iter().map(|&v| (v as f64 / acc_scale).round() as i64).collect()
+            b.iter()
+                .map(|&v| (v as f64 / acc_scale).round() as i64)
+                .collect()
         }
         None => vec![0; w.cols],
     };
     let (zx, zw) = (x.qp.zero_point as i64, w.qp.zero_point as i64);
     let mut out = vec![0i32; x.rows * w.cols];
-    let mut acc_row = vec![0i64; w.cols];
-    for i in 0..x.rows {
-        acc_row.copy_from_slice(&bias_int);
-        for k in 0..x.cols {
-            let a = x.data[i * x.cols + k] as i64 - zx;
-            if a == 0 {
-                continue;
+    // Output rows are independent: partition them across threads, each with
+    // its own accumulator row. Integer arithmetic ⇒ exact at any count.
+    mixq_parallel::par_row_chunks_mut(&mut out, x.rows, w.cols, |start, chunk| {
+        let mut acc_row = vec![0i64; w.cols];
+        for (di, orow) in chunk.chunks_mut(w.cols).enumerate() {
+            let i = start + di;
+            acc_row.copy_from_slice(&bias_int);
+            for k in 0..x.cols {
+                let a = x.data[i * x.cols + k] as i64 - zx;
+                if a == 0 {
+                    continue;
+                }
+                let wrow = &w.data[k * w.cols..(k + 1) * w.cols];
+                for (o, &wv) in acc_row.iter_mut().zip(wrow.iter()) {
+                    *o += a * (wv as i64 - zw);
+                }
             }
-            let wrow = &w.data[k * w.cols..(k + 1) * w.cols];
-            for (o, &wv) in acc_row.iter_mut().zip(wrow.iter()) {
-                *o += a * (wv as i64 - zw);
+            for (o, &acc) in orow.iter_mut().zip(acc_row.iter()) {
+                let q = fixed_point_multiply(acc, m0, rshift) + out_qp.zero_point as i64;
+                *o = q.clamp(out_qp.qmin as i64, out_qp.qmax as i64) as i32;
             }
         }
-        for (j, &acc) in acc_row.iter().enumerate() {
-            let q = fixed_point_multiply(acc, m0, rshift) + out_qp.zero_point as i64;
-            out[i * w.cols + j] =
-                q.clamp(out_qp.qmin as i64, out_qp.qmax as i64) as i32;
-        }
+    });
+    QTensor {
+        rows: x.rows,
+        cols: w.cols,
+        data: out,
+        qp: out_qp,
     }
-    QTensor { rows: x.rows, cols: w.cols, data: out, qp: out_qp }
 }
 
 /// Quantization parameters of one GCN layer, exported from a trained
@@ -179,7 +197,10 @@ impl QuantizedGcn {
                 }
             })
             .collect();
-        Self { input_qp: snapshot.input_qp, layers }
+        Self {
+            input_qp: snapshot.input_qp,
+            layers,
+        }
     }
 
     /// Runs integer inference and returns dequantized logits.
@@ -203,8 +224,12 @@ impl QuantizedGcn {
                 layer.agg_qp.qmax,
             );
             let y = quantized_spmm(&layer.qadj, &h.data, f, &p);
-            let mut yt =
-                QTensor { rows: layer.qadj.rows(), cols: f, data: y, qp: layer.agg_qp };
+            let mut yt = QTensor {
+                rows: layer.qadj.rows(),
+                cols: f,
+                data: y,
+                qp: layer.agg_qp,
+            };
             if i < last {
                 yt.relu_inplace();
             }
@@ -220,7 +245,10 @@ pub fn quantize_csr_symmetric(a: &CsrMatrix, bits: u8) -> (QuantCsr, f32) {
     let lo = a.values().iter().copied().fold(f32::INFINITY, f32::min);
     let hi = a.values().iter().copied().fold(f32::NEG_INFINITY, f32::max);
     let qp = QuantParams::symmetric(lo, hi, bits.min(16));
-    (QuantCsr::from_csr(a, bits, |_, _, v| qp.quantize(v)), qp.scale)
+    (
+        QuantCsr::from_csr(a, bits, |_, _, v| qp.quantize(v)),
+        qp.scale,
+    )
 }
 
 /// Exports a [`GcnSnapshot`] from a trained [`crate::QGcnNet`]'s quantizers
@@ -267,8 +295,8 @@ mod tests {
         let wf = w.map(|v| w_qp.fake(v));
         let mut want = xf.matmul(&wf);
         for r in 0..2 {
-            for c in 0..2 {
-                let v = want.get(r, c) + bias[c];
+            for (c, &bv) in bias.iter().enumerate() {
+                let v = want.get(r, c) + bv;
                 want.set(r, c, out_qp.fake(v));
             }
         }
@@ -299,8 +327,16 @@ mod tests {
             2,
             2,
             vec![
-                CooEntry { row: 0, col: 1, val: 0.5 },
-                CooEntry { row: 1, col: 0, val: 1.0 },
+                CooEntry {
+                    row: 0,
+                    col: 1,
+                    val: 0.5,
+                },
+                CooEntry {
+                    row: 1,
+                    col: 0,
+                    val: 1.0,
+                },
             ],
         );
         let (q, scale) = quantize_csr_symmetric(&a, 8);
@@ -375,7 +411,10 @@ impl QuantizedSage {
                 }
             })
             .collect();
-        Self { input_qp: snapshot.input_qp, layers }
+        Self {
+            input_qp: snapshot.input_qp,
+            layers,
+        }
     }
 
     /// Runs integer inference and returns dequantized logits.
@@ -419,7 +458,12 @@ impl QuantizedSage {
                         as i32
                 })
                 .collect();
-            let mut y = QTensor { rows: root.rows, cols: root.cols, data, qp: layer.out_qp };
+            let mut y = QTensor {
+                rows: root.rows,
+                cols: root.cols,
+                data,
+                qp: layer.out_qp,
+            };
             if i < last {
                 y.relu_inplace();
             }
@@ -446,7 +490,11 @@ mod sage_tests {
         for i in 0..n {
             for j in 0..n {
                 if i != j && rng.bernoulli(0.4) {
-                    entries.push(mixq_sparse::CooEntry { row: i, col: j, val: 1.0 });
+                    entries.push(mixq_sparse::CooEntry {
+                        row: i,
+                        col: j,
+                        val: 1.0,
+                    });
                 }
             }
         }
@@ -480,15 +528,23 @@ mod sage_tests {
         let (qadj, ascale) = quantize_csr_symmetric(&adj, 8);
         let adj_fake = adj.map_values(|r, c, _| {
             // Reconstruct the symmetric-quantized value of edge (r, c).
-            let code =
-                qadj.row(r).find(|&(cc, _)| cc == c).map(|(_, v)| v).unwrap_or(0);
+            let code = qadj
+                .row(r)
+                .find(|&(cc, _)| cc == c)
+                .map(|(_, v)| v)
+                .unwrap_or(0);
             code as f32 * ascale
         });
         let agg_f = Matrix::from_vec(n, fin, adj_fake.spmm(xf.data(), fin)).map(|v| agg_qp.fake(v));
         let root = xf.matmul(&wr.map(|v| w_qp.fake(v))).map(|v| out_qp.fake(v));
-        let neigh = agg_f.matmul(&wn.map(|v| w_qp.fake(v))).map(|v| out_qp.fake(v));
+        let neigh = agg_f
+            .matmul(&wn.map(|v| w_qp.fake(v)))
+            .map(|v| out_qp.fake(v));
         let want = root.zip(&neigh, |a, b| {
-            (a + b).clamp(out_qp.dequantize(out_qp.qmin), out_qp.dequantize(out_qp.qmax))
+            (a + b).clamp(
+                out_qp.dequantize(out_qp.qmin),
+                out_qp.dequantize(out_qp.qmax),
+            )
         });
         // Each branch can differ by ≤1 LSB from the float reference.
         assert!(

@@ -62,7 +62,11 @@ impl AdjCache {
 /// standard) bias.
 pub(crate) fn qlinear(f: &mut Fwd, lin: &Linear, qw: &mut FakeQuantizer, x: Var) -> Var {
     let w = f.binding.bind(f.tape, f.ps, lin.w);
-    let w = if qw.is_identity() { w } else { qw.forward(f, w) };
+    let w = if qw.is_identity() {
+        w
+    } else {
+        qw.forward(f, w)
+    };
     let mut h = f.tape.matmul(x, w);
     if let Some(bias) = lin.b {
         let bv = f.binding.bind(f.tape, f.ps, bias);
@@ -105,7 +109,11 @@ impl QGcnNet {
         rng: &mut Rng,
     ) -> Self {
         let nlayers = dims.len() - 1;
-        assert_eq!(assignment.names, gcn_schema(nlayers), "assignment/schema mismatch");
+        assert_eq!(
+            assignment.names,
+            gcn_schema(nlayers),
+            "assignment/schema mismatch"
+        );
         let q_input = kind.make(assignment.get("input"), degrees, ps);
         let layers = (0..nlayers)
             .map(|l| QGcnLayer {
@@ -117,7 +125,13 @@ impl QGcnNet {
                 adj: AdjCache::default(),
             })
             .collect();
-        Self { assignment, dims: dims.to_vec(), q_input, layers, dropout }
+        Self {
+            assignment,
+            dims: dims.to_vec(),
+            q_input,
+            layers,
+            dropout,
+        }
     }
 
     /// Cost model for a graph with `n` nodes and `nnz` (normalized)
@@ -248,7 +262,11 @@ impl QSageNet {
         rng: &mut Rng,
     ) -> Self {
         let nlayers = dims.len() - 1;
-        assert_eq!(assignment.names, sage_schema(nlayers), "assignment/schema mismatch");
+        assert_eq!(
+            assignment.names,
+            sage_schema(nlayers),
+            "assignment/schema mismatch"
+        );
         let q_input = kind.make(assignment.get("input"), degrees, ps);
         let layers = (0..nlayers)
             .map(|l| QSageLayer {
@@ -262,7 +280,13 @@ impl QSageNet {
                 adj: AdjCache::default(),
             })
             .collect();
-        Self { assignment, dims: dims.to_vec(), q_input, layers, dropout }
+        Self {
+            assignment,
+            dims: dims.to_vec(),
+            q_input,
+            layers,
+            dropout,
+        }
     }
 
     pub fn cost_model(&self, n: u64, nnz: u64) -> CostModel {
@@ -343,15 +367,22 @@ impl NodeNet for QSageNet {
             let agg = layer.q_agg.forward(f, agg);
 
             let wr = f.binding.bind(f.tape, f.ps, layer.lin_root.w);
-            let wr = if layer.q_w_root.is_identity() { wr } else { layer.q_w_root.forward(f, wr) };
+            let wr = if layer.q_w_root.is_identity() {
+                wr
+            } else {
+                layer.q_w_root.forward(f, wr)
+            };
             let mut root = f.tape.matmul(x, wr);
             if let Some(bias) = layer.lin_root.b {
                 let bv = f.binding.bind(f.tape, f.ps, bias);
                 root = f.tape.add_bias(root, bv);
             }
             let wn = f.binding.bind(f.tape, f.ps, layer.lin_neigh.w);
-            let wn =
-                if layer.q_w_neigh.is_identity() { wn } else { layer.q_w_neigh.forward(f, wn) };
+            let wn = if layer.q_w_neigh.is_identity() {
+                wn
+            } else {
+                layer.q_w_neigh.forward(f, wn)
+            };
             let neigh = f.tape.matmul(agg, wn);
 
             let mut y = f.tape.add(root, neigh);
@@ -411,7 +442,11 @@ impl QGinGraphNet {
         degrees: &[usize],
         rng: &mut Rng,
     ) -> Self {
-        assert_eq!(assignment.names, gin_graph_schema(nlayers), "assignment/schema mismatch");
+        assert_eq!(
+            assignment.names,
+            gin_graph_schema(nlayers),
+            "assignment/schema mismatch"
+        );
         let q_input = kind.make(assignment.get("input"), degrees, ps);
         let layers = (0..nlayers)
             .map(|l| {
@@ -592,7 +627,11 @@ impl QGcnGraphNet {
         degrees: &[usize],
         rng: &mut Rng,
     ) -> Self {
-        assert_eq!(assignment.names, gcn_graph_schema(nlayers), "assignment/schema mismatch");
+        assert_eq!(
+            assignment.names,
+            gcn_graph_schema(nlayers),
+            "assignment/schema mismatch"
+        );
         let q_input = kind.make(assignment.get("input"), degrees, ps);
         let layers = (0..nlayers)
             .map(|l| {
@@ -689,7 +728,11 @@ impl GraphNet for QGcnGraphNet {
         for i in 0..self.layers.len() {
             let layer = &mut self.layers[i];
             let w = f.binding.bind(f.tape, f.ps, layer.lin.w);
-            let wq = if layer.q_w.is_identity() { w } else { layer.q_w.forward(f, w) };
+            let wq = if layer.q_w.is_identity() {
+                w
+            } else {
+                layer.q_w.forward(f, w)
+            };
             let mut h = f.tape.matmul(x, wq);
             if let Some(bias) = layer.lin.b {
                 let bv = f.binding.bind(f.tape, f.ps, bias);

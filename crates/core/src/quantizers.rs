@@ -31,7 +31,11 @@ impl DqQuantizer {
         order.sort_by_key(|&i| degrees[i]);
         let mut protect = vec![0f32; n];
         for (rank, &i) in order.iter().enumerate() {
-            let t = if n > 1 { rank as f32 / (n - 1) as f32 } else { 0.0 };
+            let t = if n > 1 {
+                rank as f32 / (n - 1) as f32
+            } else {
+                0.0
+            };
             protect[i] = p_min + t * (p_max - p_min);
         }
         let inner = FakeQuantizer::new(bits, false)
@@ -133,7 +137,10 @@ impl A2qQuantizer {
 
     /// Per-node bit-width under the current degrees.
     pub fn bits_per_node(&self) -> Vec<u8> {
-        self.degrees.iter().map(|&d| self.bucket_bits[degree_bucket(d)]).collect()
+        self.degrees
+            .iter()
+            .map(|&d| self.bucket_bits[degree_bucket(d)])
+            .collect()
     }
 
     /// Average bit-width over nodes (the "Bits" this scheme reports).
@@ -225,10 +232,17 @@ impl NodeQuant {
 pub enum QuantKind {
     Native,
     /// Degree-Quant with the given protection probability range.
-    Dq { p_min: f32, p_max: f32 },
+    Dq {
+        p_min: f32,
+        p_max: f32,
+    },
     /// A²Q-style per-node quantization with the given lo/mid/hi bit tiers
     /// (the component's own bit-width is ignored for node activations).
-    A2q { lo: u8, mid: u8, hi: u8 },
+    A2q {
+        lo: u8,
+        mid: u8,
+        hi: u8,
+    },
     /// LSQ: learnable scales trained by gradient descent.
     Lsq,
 }
@@ -259,7 +273,13 @@ mod tests {
         let mut tape = Tape::new();
         let mut binding = Binding::new();
         let mut rng = Rng::seed_from_u64(seed);
-        let mut f = Fwd { tape: &mut tape, ps: &ps, binding: &mut binding, rng: &mut rng, training };
+        let mut f = Fwd {
+            tape: &mut tape,
+            ps: &ps,
+            binding: &mut binding,
+            rng: &mut rng,
+            training,
+        };
         let xv = f.tape.constant(x);
         let y = q.forward(&mut f, xv);
         tape.value(y).clone()
@@ -269,7 +289,10 @@ mod tests {
     fn dq_protection_increases_with_degree() {
         let degrees = vec![1, 5, 100, 2, 50];
         let dq = DqQuantizer::new(4, &degrees, 0.0, 1.0);
-        assert!(dq.protect[2] > dq.protect[1], "higher degree ⇒ higher protection");
+        assert!(
+            dq.protect[2] > dq.protect[1],
+            "higher degree ⇒ higher protection"
+        );
         assert_eq!(dq.protect[2], 1.0);
         assert_eq!(dq.protect[0], 0.0);
     }
@@ -309,7 +332,10 @@ mod tests {
         // Row 0 has 8 bits ⇒ small error; row 1 has 2 bits ⇒ large error.
         let e0: f32 = (0..4).map(|c| (y.get(0, c) - x.get(0, c)).abs()).sum();
         let e1: f32 = (0..4).map(|c| (y.get(1, c) - x.get(1, c)).abs()).sum();
-        assert!(e1 > e0 * 4.0, "per-row bit-widths not applied: e0={e0}, e1={e1}");
+        assert!(
+            e1 > e0 * 4.0,
+            "per-row bit-widths not applied: e0={e0}, e1={e1}"
+        );
     }
 
     #[test]

@@ -116,7 +116,8 @@ impl RelaxedAdjQuantizer {
             let yi = f.tape.spmm(self.cache[i].as_ref().unwrap(), x);
             // w_i as a 1×1 var: ⟨w, e_i⟩.
             let onehot =
-                f.tape.constant(Matrix::from_fn(1, k, |_, c| if c == i { 1.0 } else { 0.0 }));
+                f.tape
+                    .constant(Matrix::from_fn(1, k, |_, c| if c == i { 1.0 } else { 0.0 }));
             let wi_vec = f.tape.mul(w, onehot);
             let wi = f.tape.sum_all(wi_vec);
             let term = f.tape.mul_scalar_var(yi, wi);
@@ -181,7 +182,12 @@ impl RelaxedGcnNet {
                 q_agg_out: RelaxedQuantizer::new(ps, bit_choices, false),
             })
             .collect();
-        Self { dims: dims.to_vec(), q_input, layers, dropout }
+        Self {
+            dims: dims.to_vec(),
+            q_input,
+            layers,
+            dropout,
+        }
     }
 
     /// Forward pass returning `(logits, penalty terms)`.
@@ -278,7 +284,12 @@ impl RelaxedSageNet {
                 q_out: RelaxedQuantizer::new(ps, bit_choices, false),
             })
             .collect();
-        Self { dims: dims.to_vec(), q_input, layers, dropout }
+        Self {
+            dims: dims.to_vec(),
+            q_input,
+            layers,
+            dropout,
+        }
     }
 
     pub fn forward(&mut self, f: &mut Fwd, b: &NodeBundle, mut x: Var) -> (Var, Vec<(Var, usize)>) {
@@ -424,7 +435,12 @@ impl RelaxedGinGraphNet {
         h
     }
 
-    pub fn forward(&mut self, f: &mut Fwd, b: &GraphBundle, mut x: Var) -> (Var, Vec<(Var, usize)>) {
+    pub fn forward(
+        &mut self,
+        f: &mut Fwd,
+        b: &GraphBundle,
+        mut x: Var,
+    ) -> (Var, Vec<(Var, usize)>) {
         let mut pens = Vec::new();
         x = self.q_input.forward(f, x, &mut pens);
         for i in 0..self.layers.len() {
@@ -471,7 +487,12 @@ impl RelaxedGinGraphNet {
             bits.push(layer.q_w2.selected(ps));
             bits.push(layer.q_h2.selected(ps));
         }
-        for q in [&self.q_head_w1, &self.q_head_h1, &self.q_head_w2, &self.q_head_out] {
+        for q in [
+            &self.q_head_w1,
+            &self.q_head_h1,
+            &self.q_head_w2,
+            &self.q_head_out,
+        ] {
             bits.push(q.selected(ps));
         }
         BitAssignment::new(gin_graph_schema(self.layers.len()), bits)
@@ -553,7 +574,12 @@ impl RelaxedGcnGraphNet {
         }
     }
 
-    pub fn forward(&mut self, f: &mut Fwd, b: &GraphBundle, mut x: Var) -> (Var, Vec<(Var, usize)>) {
+    pub fn forward(
+        &mut self,
+        f: &mut Fwd,
+        b: &GraphBundle,
+        mut x: Var,
+    ) -> (Var, Vec<(Var, usize)>) {
         let mut pens = Vec::new();
         x = self.q_input.forward(f, x, &mut pens);
         for i in 0..self.layers.len() {

@@ -29,7 +29,13 @@ pub struct SearchConfig {
 
 impl Default for SearchConfig {
     fn default() -> Self {
-        Self { epochs: 60, lr: 0.01, lambda: 0.1, seed: 0, warmup: 25 }
+        Self {
+            epochs: 60,
+            lr: 0.01,
+            lambda: 0.1,
+            seed: 0,
+            warmup: 25,
+        }
     }
 }
 
@@ -201,15 +207,26 @@ pub fn search_gin_graph_bits(
 ) -> BitAssignment {
     let mut ps = ParamSet::new();
     let mut rng = Rng::seed_from_u64(cfg.seed ^ 0xA3);
-    let mut net =
-        RelaxedGinGraphNet::new(&mut ps, in_dim, hidden, classes, nlayers, bit_choices, &mut rng);
+    let mut net = RelaxedGinGraphNet::new(
+        &mut ps,
+        in_dim,
+        hidden,
+        classes,
+        nlayers,
+        bit_choices,
+        &mut rng,
+    );
     let (tr_rows, tr_targets, va_rows, va_targets) = graph_search_split(train, cfg.seed);
     let alpha_ids = net.alpha_ids();
     train_relaxed(&mut ps, cfg, &alpha_ids, |f, val| {
         let x = f.tape.constant(train.features.clone());
         let (logits, pens) = net.forward(f, train, x);
         let lp = f.tape.log_softmax(logits);
-        let (rows, targets) = if val { (&va_rows, &va_targets) } else { (&tr_rows, &tr_targets) };
+        let (rows, targets) = if val {
+            (&va_rows, &va_targets)
+        } else {
+            (&tr_rows, &tr_targets)
+        };
         let loss = f.tape.nll_masked(lp, rows, targets);
         (loss, pens)
     });
@@ -229,15 +246,26 @@ pub fn search_gcn_graph_bits(
 ) -> BitAssignment {
     let mut ps = ParamSet::new();
     let mut rng = Rng::seed_from_u64(cfg.seed ^ 0xA4);
-    let mut net =
-        RelaxedGcnGraphNet::new(&mut ps, in_dim, hidden, classes, nlayers, bit_choices, &mut rng);
+    let mut net = RelaxedGcnGraphNet::new(
+        &mut ps,
+        in_dim,
+        hidden,
+        classes,
+        nlayers,
+        bit_choices,
+        &mut rng,
+    );
     let (tr_rows, tr_targets, va_rows, va_targets) = graph_search_split(train, cfg.seed);
     let alpha_ids = net.alpha_ids();
     train_relaxed(&mut ps, cfg, &alpha_ids, |f, val| {
         let x = f.tape.constant(train.features.clone());
         let (logits, pens) = net.forward(f, train, x);
         let lp = f.tape.log_softmax(logits);
-        let (rows, targets) = if val { (&va_rows, &va_targets) } else { (&tr_rows, &tr_targets) };
+        let (rows, targets) = if val {
+            (&va_rows, &va_targets)
+        } else {
+            (&tr_rows, &tr_targets)
+        };
         let loss = f.tape.nll_masked(lp, rows, targets);
         (loss, pens)
     });
@@ -263,7 +291,13 @@ mod tests {
             &dims,
             &[2, 4, 8],
             0.0,
-            &SearchConfig { epochs: 20, lr: 0.05, lambda: 50.0, seed: 1, warmup: 5 },
+            &SearchConfig {
+                epochs: 20,
+                lr: 0.05,
+                lambda: 50.0,
+                seed: 1,
+                warmup: 5,
+            },
         );
         let wide = search_gcn_bits(
             &ds,
@@ -271,7 +305,13 @@ mod tests {
             &dims,
             &[2, 4, 8],
             0.0,
-            &SearchConfig { epochs: 20, lr: 0.05, lambda: -50.0, seed: 1, warmup: 5 },
+            &SearchConfig {
+                epochs: 20,
+                lr: 0.05,
+                lambda: -50.0,
+                seed: 1,
+                warmup: 5,
+            },
         );
         assert!(
             narrow.simple_avg() < wide.simple_avg(),
@@ -279,8 +319,16 @@ mod tests {
             narrow.simple_avg(),
             wide.simple_avg()
         );
-        assert_eq!(wide.simple_avg(), 8.0, "strongly negative λ saturates at max bits");
-        assert_eq!(narrow.simple_avg(), 2.0, "strongly positive λ saturates at min bits");
+        assert_eq!(
+            wide.simple_avg(),
+            8.0,
+            "strongly negative λ saturates at max bits"
+        );
+        assert_eq!(
+            narrow.simple_avg(),
+            2.0,
+            "strongly positive λ saturates at min bits"
+        );
     }
 
     #[test]
@@ -294,7 +342,13 @@ mod tests {
             &dims,
             &[4, 8],
             0.5,
-            &SearchConfig { epochs: 8, lr: 0.02, lambda: 0.1, seed: 2, warmup: 2 },
+            &SearchConfig {
+                epochs: 8,
+                lr: 0.02,
+                lambda: 0.1,
+                seed: 2,
+                warmup: 2,
+            },
         );
         assert_eq!(a.len(), 9, "2-layer GCN has 9 components");
         assert!(a.bits.iter().all(|b| [4u8, 8].contains(b)));

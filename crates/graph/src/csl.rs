@@ -26,8 +26,16 @@ pub fn circular_skip_graph(n: usize, skip: usize) -> CsrMatrix {
     for i in 0..n {
         for j in [(i + 1) % n, (i + skip) % n] {
             if i != j {
-                entries.push(CooEntry { row: i, col: j, val: 1.0 });
-                entries.push(CooEntry { row: j, col: i, val: 1.0 });
+                entries.push(CooEntry {
+                    row: i,
+                    col: j,
+                    val: 1.0,
+                });
+                entries.push(CooEntry {
+                    row: j,
+                    col: i,
+                    val: 1.0,
+                });
             }
         }
     }
@@ -42,7 +50,11 @@ pub fn permute_graph(adj: &CsrMatrix, perm: &[usize]) -> CsrMatrix {
     let mut entries = Vec::with_capacity(adj.nnz());
     for r in 0..n {
         for (c, v) in adj.row(r) {
-            entries.push(CooEntry { row: perm[r], col: perm[c], val: v });
+            entries.push(CooEntry {
+                row: perm[r],
+                col: perm[c],
+                val: v,
+            });
         }
     }
     CsrMatrix::from_coo(n, n, entries)
@@ -58,8 +70,9 @@ pub fn laplacian_pe(adj: &CsrMatrix, dim: usize, rng: &mut Rng) -> Matrix {
     let dense = Matrix::from_vec(n, n, l.to_dense());
     let (_, vecs) = jacobi_eigh(&dense, 60);
     let dim = dim.min(n.saturating_sub(1));
-    let signs: Vec<f32> =
-        (0..dim).map(|_| if rng.bernoulli(0.5) { 1.0 } else { -1.0 }).collect();
+    let signs: Vec<f32> = (0..dim)
+        .map(|_| if rng.bernoulli(0.5) { 1.0 } else { -1.0 })
+        .collect();
     // Skip the trivial (constant) eigenvector at index 0.
     Matrix::from_fn(n, dim, |r, c| vecs.get(r, c + 1) * signs[c])
 }
@@ -81,7 +94,12 @@ pub fn csl_dataset(seed: u64, copies: usize, pe_dim: usize) -> GraphDataset {
             labels.push(label);
         }
     }
-    GraphDataset { name: "CSL".into(), graphs, labels, num_classes: 10 }
+    GraphDataset {
+        name: "CSL".into(),
+        graphs,
+        labels,
+        num_classes: 10,
+    }
 }
 
 #[cfg(test)]
@@ -153,7 +171,7 @@ mod tests {
         let ds = csl_dataset(1, 15, 16);
         assert_eq!(ds.len(), 150);
         assert_eq!(ds.num_classes, 10);
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         for &l in &ds.labels {
             counts[l] += 1;
         }

@@ -54,11 +54,19 @@ impl GraphDataset {
     }
 
     pub fn avg_nodes(&self) -> f32 {
-        self.graphs.iter().map(|g| g.num_nodes() as f32).sum::<f32>() / self.len() as f32
+        self.graphs
+            .iter()
+            .map(|g| g.num_nodes() as f32)
+            .sum::<f32>()
+            / self.len() as f32
     }
 
     pub fn avg_edges(&self) -> f32 {
-        self.graphs.iter().map(|g| g.num_edges() as f32).sum::<f32>() / self.len() as f32
+        self.graphs
+            .iter()
+            .map(|g| g.num_edges() as f32)
+            .sum::<f32>()
+            / self.len() as f32
     }
 }
 
@@ -87,14 +95,24 @@ pub fn batch_graphs(graphs: &[&SmallGraph]) -> Batch {
         assert_eq!(g.features.cols(), f, "all graphs must share feature dim");
         for r in 0..g.num_nodes() {
             for (c, v) in g.adj.row(r) {
-                entries.push(CooEntry { row: base + r, col: base + c, val: v });
+                entries.push(CooEntry {
+                    row: base + r,
+                    col: base + c,
+                    val: v,
+                });
             }
-            features.row_slice_mut(base + r).copy_from_slice(g.features.row_slice(r));
+            features
+                .row_slice_mut(base + r)
+                .copy_from_slice(g.features.row_slice(r));
         }
         base += g.num_nodes();
         offsets.push(base);
     }
-    Batch { adj: CsrMatrix::from_coo(total, total, entries), features, offsets }
+    Batch {
+        adj: CsrMatrix::from_coo(total, total, entries),
+        features,
+        offsets,
+    }
 }
 
 // ---- low-level graph builders ---------------------------------------------
@@ -107,7 +125,10 @@ struct EdgeSet {
 
 impl EdgeSet {
     fn new(n: usize) -> Self {
-        Self { n, seen: HashSet::new() }
+        Self {
+            n,
+            seen: HashSet::new(),
+        }
     }
 
     fn add(&mut self, u: usize, v: usize) {
@@ -120,8 +141,16 @@ impl EdgeSet {
     fn into_csr(self) -> CsrMatrix {
         let mut entries = Vec::with_capacity(self.seen.len() * 2);
         for (u, v) in self.seen {
-            entries.push(CooEntry { row: u, col: v, val: 1.0 });
-            entries.push(CooEntry { row: v, col: u, val: 1.0 });
+            entries.push(CooEntry {
+                row: u,
+                col: v,
+                val: 1.0,
+            });
+            entries.push(CooEntry {
+                row: v,
+                col: u,
+                val: 1.0,
+            });
         }
         CsrMatrix::from_coo(self.n, self.n, entries)
     }
@@ -215,7 +244,12 @@ pub fn imdb_b_like(seed: u64, num_graphs: usize) -> GraphDataset {
         graphs.push(SmallGraph { adj, features });
         labels.push(label);
     }
-    GraphDataset { name: "imdb-b-like".into(), graphs, labels, num_classes: 2 }
+    GraphDataset {
+        name: "imdb-b-like".into(),
+        graphs,
+        labels,
+        num_classes: 2,
+    }
 }
 
 /// PROTEINS-like: chains with branches (class 0) vs structures containing
@@ -261,7 +295,12 @@ pub fn proteins_like(seed: u64, num_graphs: usize) -> GraphDataset {
         graphs.push(SmallGraph { adj, features });
         labels.push(label);
     }
-    GraphDataset { name: "proteins-like".into(), graphs, labels, num_classes: 2 }
+    GraphDataset {
+        name: "proteins-like".into(),
+        graphs,
+        labels,
+        num_classes: 2,
+    }
 }
 
 /// D&D-like: larger graphs; class 1 hides a planted clique in a sparse
@@ -295,7 +334,12 @@ pub fn dd_like(seed: u64, num_graphs: usize) -> GraphDataset {
         graphs.push(SmallGraph { adj, features });
         labels.push(label);
     }
-    GraphDataset { name: "dd-like".into(), graphs, labels, num_classes: 2 }
+    GraphDataset {
+        name: "dd-like".into(),
+        graphs,
+        labels,
+        num_classes: 2,
+    }
 }
 
 /// REDDIT-B-like: discussion-thread graphs — one dominant hub (class 0) vs
@@ -314,7 +358,12 @@ pub fn reddit_b_like(seed: u64, num_graphs: usize) -> GraphDataset {
         graphs.push(SmallGraph { adj, features });
         labels.push(label);
     }
-    GraphDataset { name: "reddit-b-like".into(), graphs, labels, num_classes: 2 }
+    GraphDataset {
+        name: "reddit-b-like".into(),
+        graphs,
+        labels,
+        num_classes: 2,
+    }
 }
 
 /// REDDIT-M-like: five classes distinguished by the number of hubs (1–5).
@@ -331,7 +380,12 @@ pub fn reddit_m_like(seed: u64, num_graphs: usize) -> GraphDataset {
         graphs.push(SmallGraph { adj, features });
         labels.push(label);
     }
-    GraphDataset { name: "reddit-m-like".into(), graphs, labels, num_classes: 5 }
+    GraphDataset {
+        name: "reddit-m-like".into(),
+        graphs,
+        labels,
+        num_classes: 5,
+    }
 }
 
 #[cfg(test)]
@@ -358,7 +412,10 @@ mod tests {
             }
         }
         // Edge counts preserved.
-        assert_eq!(batch.adj.nnz(), ds.graphs.iter().map(|g| g.num_edges()).sum::<usize>());
+        assert_eq!(
+            batch.adj.nnz(),
+            ds.graphs.iter().map(|g| g.num_edges()).sum::<usize>()
+        );
     }
 
     #[test]
@@ -393,7 +450,10 @@ mod tests {
                 assert!(g.num_nodes() > 0);
             }
         }
-        assert_eq!(imdb_b_like(7, 10).graphs[3].adj, imdb_b_like(7, 10).graphs[3].adj);
+        assert_eq!(
+            imdb_b_like(7, 10).graphs[3].adj,
+            imdb_b_like(7, 10).graphs[3].adj
+        );
     }
 
     #[test]

@@ -38,13 +38,22 @@ pub fn parse_edge_list(text: &str, num_nodes: usize) -> Result<CsrMatrix, String
             .and_then(|v| v.parse().ok())
             .ok_or_else(|| format!("line {}: bad destination node", lineno + 1))?;
         let w: f32 = match it.next() {
-            Some(v) => v.parse().map_err(|e| format!("line {}: bad weight: {e}", lineno + 1))?,
+            Some(v) => v
+                .parse()
+                .map_err(|e| format!("line {}: bad weight: {e}", lineno + 1))?,
             None => 1.0,
         };
         if src >= num_nodes || dst >= num_nodes {
-            return Err(format!("line {}: node id out of range (n={num_nodes})", lineno + 1));
+            return Err(format!(
+                "line {}: node id out of range (n={num_nodes})",
+                lineno + 1
+            ));
         }
-        entries.push(CooEntry { row: src, col: dst, val: w });
+        entries.push(CooEntry {
+            row: src,
+            col: dst,
+            val: w,
+        });
     }
     Ok(CsrMatrix::from_coo(num_nodes, num_nodes, entries))
 }
@@ -81,7 +90,10 @@ pub fn parse_node_table(text: &str) -> Result<(Vec<usize>, Matrix), String> {
             .and_then(|v| v.parse().ok())
             .ok_or_else(|| format!("line {}: bad label", lineno + 1))?;
         let feats: Vec<f32> = it
-            .map(|v| v.parse::<f32>().map_err(|e| format!("line {}: bad feature: {e}", lineno + 1)))
+            .map(|v| {
+                v.parse::<f32>()
+                    .map_err(|e| format!("line {}: bad feature: {e}", lineno + 1))
+            })
             .collect::<Result<_, _>>()?;
         match width {
             None => width = Some(feats.len()),

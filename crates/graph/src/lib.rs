@@ -11,20 +11,21 @@ mod node_dataset;
 mod sampling;
 mod splits;
 
-pub use csl::{circular_skip_graph, csl_dataset, laplacian_pe, permute_graph, CSL_NODES, CSL_SKIPS};
+pub use csl::{
+    circular_skip_graph, csl_dataset, laplacian_pe, permute_graph, CSL_NODES, CSL_SKIPS,
+};
 pub use graph_dataset::{
     batch_graphs, dd_like, degree_one_hot, imdb_b_like, proteins_like, reddit_b_like,
     reddit_m_like, Batch, GraphDataset, SmallGraph,
 };
 pub use io::{
-    edge_list_to_string, load_edge_list, node_table_to_string, parse_edge_list,
-    parse_node_table, save_edge_list,
+    edge_list_to_string, load_edge_list, node_table_to_string, parse_edge_list, parse_node_table,
+    save_edge_list,
 };
 pub use linalg::jacobi_eigh;
 pub use node_dataset::{
-    arxiv_like, citation_like, citeseer_like, cora_like, igb_like, planetoid_split,
-    products_like, proteins_ogb_like, pubmed_like, reddit_like, CitationConfig, NodeDataset,
-    NodeTargets,
+    arxiv_like, citation_like, citeseer_like, cora_like, igb_like, planetoid_split, products_like,
+    proteins_ogb_like, pubmed_like, reddit_like, CitationConfig, NodeDataset, NodeTargets,
 };
 pub use sampling::sample_neighbors;
 pub use splits::stratified_kfold;

@@ -113,12 +113,12 @@ mod tests {
     fn satisfies_eigen_equation() {
         let a = sym_random(12, 5);
         let (vals, vecs) = jacobi_eigh(&a, 50);
-        for j in 0..12 {
+        for (j, &val) in vals.iter().enumerate() {
             // A v_j == λ_j v_j
             for r in 0..12 {
                 let av: f32 = (0..12).map(|k| a.get(r, k) * vecs.get(k, j)).sum();
                 assert!(
-                    (av - vals[j] * vecs.get(r, j)).abs() < 1e-3,
+                    (av - val * vecs.get(r, j)).abs() < 1e-3,
                     "eigen equation violated at ({r},{j})"
                 );
             }
@@ -133,7 +133,10 @@ mod tests {
             for j in 0..10 {
                 let dot: f32 = (0..10).map(|k| vecs.get(k, i) * vecs.get(k, j)).sum();
                 let expect = if i == j { 1.0 } else { 0.0 };
-                assert!((dot - expect).abs() < 1e-3, "orthonormality failed at ({i},{j})");
+                assert!(
+                    (dot - expect).abs() < 1e-3,
+                    "orthonormality failed at ({i},{j})"
+                );
             }
         }
     }

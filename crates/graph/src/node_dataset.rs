@@ -18,7 +18,10 @@ use mixq_tensor::{Matrix, Rng};
 #[derive(Debug, Clone)]
 pub enum NodeTargets {
     /// One class index per node.
-    SingleLabel { labels: Vec<usize>, num_classes: usize },
+    SingleLabel {
+        labels: Vec<usize>,
+        num_classes: usize,
+    },
     /// A `n×t` 0/1 matrix of independent binary tasks (evaluated by
     /// ROC-AUC, like OGB-Proteins).
     MultiLabel(Matrix),
@@ -141,8 +144,16 @@ pub fn citation_like(cfg: &CitationConfig, seed: u64) -> NodeDataset {
         }
         let key = (u.min(v), u.max(v));
         if seen.insert(key) {
-            entries.push(CooEntry { row: key.0, col: key.1, val: 1.0 });
-            entries.push(CooEntry { row: key.1, col: key.0, val: 1.0 });
+            entries.push(CooEntry {
+                row: key.0,
+                col: key.1,
+                val: 1.0,
+            });
+            entries.push(CooEntry {
+                row: key.1,
+                col: key.0,
+                val: 1.0,
+            });
         }
     }
     let adj = CsrMatrix::from_coo(n, n, entries);
@@ -188,7 +199,10 @@ pub fn citation_like(cfg: &CitationConfig, seed: u64) -> NodeDataset {
         name: cfg.name.to_string(),
         adj,
         features,
-        targets: NodeTargets::SingleLabel { labels, num_classes: c },
+        targets: NodeTargets::SingleLabel {
+            labels,
+            num_classes: c,
+        },
         train_idx,
         val_idx,
         test_idx,
@@ -250,7 +264,10 @@ impl WeightedPool {
             acc += w.max(0.0);
             cumulative.push(acc);
         }
-        Self { cumulative, indices }
+        Self {
+            cumulative,
+            indices,
+        }
     }
 
     fn sample(&self, rng: &mut Rng) -> usize {
@@ -423,7 +440,11 @@ pub fn igb_like(seed: u64) -> NodeDataset {
     // Label noise: IGB's automatically-derived labels are noisy, which is
     // why every method (including FP32) plateaus near 70% in the paper.
     let mut rng = Rng::seed_from_u64(seed ^ 0x1619);
-    if let NodeTargets::SingleLabel { labels, num_classes } = &mut ds.targets {
+    if let NodeTargets::SingleLabel {
+        labels,
+        num_classes,
+    } = &mut ds.targets
+    {
         for l in labels.iter_mut() {
             if rng.bernoulli(0.18) {
                 *l = rng.gen_range(*num_classes);
@@ -473,7 +494,10 @@ pub fn proteins_ogb_like(seed: u64) -> NodeDataset {
             0.0
         }
     });
-    NodeDataset { targets: NodeTargets::MultiLabel(targets), ..base }
+    NodeDataset {
+        targets: NodeTargets::MultiLabel(targets),
+        ..base
+    }
 }
 
 #[cfg(test)]
@@ -598,8 +622,10 @@ mod tests {
         assert!(cora.num_nodes() < pubmed.num_nodes());
         assert!(pubmed.num_nodes() < products.num_nodes());
         let reddit = reddit_like(1);
-        let avg_deg =
-            |d: &NodeDataset| d.num_edges() as f32 / d.num_nodes() as f32;
-        assert!(avg_deg(&reddit) > 3.0 * avg_deg(&cora), "reddit must be much denser");
+        let avg_deg = |d: &NodeDataset| d.num_edges() as f32 / d.num_nodes() as f32;
+        assert!(
+            avg_deg(&reddit) > 3.0 * avg_deg(&cora),
+            "reddit must be much denser"
+        );
     }
 }

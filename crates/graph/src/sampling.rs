@@ -16,12 +16,20 @@ pub fn sample_neighbors(adj: &CsrMatrix, k: usize, rng: &mut Rng) -> CsrMatrix {
         let row: Vec<(usize, f32)> = adj.row(r).collect();
         if row.len() <= k {
             for (c, v) in row {
-                entries.push(CooEntry { row: r, col: c, val: v });
+                entries.push(CooEntry {
+                    row: r,
+                    col: c,
+                    val: v,
+                });
             }
         } else {
             for &pick in &rng.sample_indices(row.len(), k) {
                 let (c, v) = row[pick];
-                entries.push(CooEntry { row: r, col: c, val: v });
+                entries.push(CooEntry {
+                    row: r,
+                    col: c,
+                    val: v,
+                });
             }
         }
     }
@@ -34,11 +42,13 @@ mod tests {
 
     fn dense_row(n: usize) -> CsrMatrix {
         let entries = (0..n)
-            .flat_map(|r| (0..n).filter(move |&c| c != r).map(move |c| CooEntry {
-                row: r,
-                col: c,
-                val: (r * n + c) as f32,
-            }))
+            .flat_map(|r| {
+                (0..n).filter(move |&c| c != r).map(move |c| CooEntry {
+                    row: r,
+                    col: c,
+                    val: (r * n + c) as f32,
+                })
+            })
             .collect();
         CsrMatrix::from_coo(n, n, entries)
     }
@@ -57,8 +67,16 @@ mod tests {
             3,
             3,
             vec![
-                CooEntry { row: 0, col: 1, val: 2.5 },
-                CooEntry { row: 0, col: 2, val: -1.0 },
+                CooEntry {
+                    row: 0,
+                    col: 1,
+                    val: 2.5,
+                },
+                CooEntry {
+                    row: 0,
+                    col: 2,
+                    val: -1.0,
+                },
             ],
         );
         let mut rng = Rng::seed_from_u64(2);
@@ -82,7 +100,13 @@ mod tests {
     fn reduces_max_degree_skew() {
         // A star graph: hub in-degree n−1 becomes ≤ k.
         let n = 50;
-        let entries = (1..n).map(|c| CooEntry { row: 0, col: c, val: 1.0 }).collect();
+        let entries = (1..n)
+            .map(|c| CooEntry {
+                row: 0,
+                col: c,
+                val: 1.0,
+            })
+            .collect();
         let adj = CsrMatrix::from_coo(n, n, entries);
         let mut rng = Rng::seed_from_u64(4);
         let s = sample_neighbors(&adj, 5, &mut rng);

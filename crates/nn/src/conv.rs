@@ -19,10 +19,18 @@ pub fn with_self_loops(a: &CsrMatrix) -> CsrMatrix {
     let n = a.rows();
     let mut entries = Vec::with_capacity(a.nnz() + n);
     for r in 0..n {
-        entries.push(CooEntry { row: r, col: r, val: 1.0 });
+        entries.push(CooEntry {
+            row: r,
+            col: r,
+            val: 1.0,
+        });
         for (c, v) in a.row(r) {
             if c != r {
-                entries.push(CooEntry { row: r, col: c, val: v });
+                entries.push(CooEntry {
+                    row: r,
+                    col: c,
+                    val: v,
+                });
             }
         }
     }
@@ -37,8 +45,15 @@ pub struct GcnConv {
 }
 
 impl GcnConv {
-    pub fn new(ps: &mut ParamSet, in_dim: usize, out_dim: usize, rng: &mut mixq_tensor::Rng) -> Self {
-        Self { lin: Linear::new(ps, in_dim, out_dim, rng) }
+    pub fn new(
+        ps: &mut ParamSet,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut mixq_tensor::Rng,
+    ) -> Self {
+        Self {
+            lin: Linear::new(ps, in_dim, out_dim, rng),
+        }
     }
 
     pub fn forward(&self, f: &mut Fwd, adj_norm: &Arc<SpPair>, x: Var) -> Var {
@@ -91,7 +106,12 @@ pub struct SageConv {
 }
 
 impl SageConv {
-    pub fn new(ps: &mut ParamSet, in_dim: usize, out_dim: usize, rng: &mut mixq_tensor::Rng) -> Self {
+    pub fn new(
+        ps: &mut ParamSet,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut mixq_tensor::Rng,
+    ) -> Self {
         Self {
             lin_root: Linear::new(ps, in_dim, out_dim, rng),
             lin_neigh: Linear::new_no_bias(ps, in_dim, out_dim, rng),
@@ -159,7 +179,10 @@ impl SgcConv {
         k: usize,
         rng: &mut mixq_tensor::Rng,
     ) -> Self {
-        Self { lin: Linear::new(ps, in_dim, out_dim, rng), k }
+        Self {
+            lin: Linear::new(ps, in_dim, out_dim, rng),
+            k,
+        }
     }
 
     pub fn forward(&self, f: &mut Fwd, adj_norm: &Arc<SpPair>, x: Var) -> Var {
@@ -184,7 +207,12 @@ pub struct GatConv {
 }
 
 impl GatConv {
-    pub fn new(ps: &mut ParamSet, in_dim: usize, out_dim: usize, rng: &mut mixq_tensor::Rng) -> Self {
+    pub fn new(
+        ps: &mut ParamSet,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut mixq_tensor::Rng,
+    ) -> Self {
         Self {
             lin: Linear::new_no_bias(ps, in_dim, out_dim, rng),
             a_src: ps.add_glorot(out_dim, 1, rng),
@@ -205,7 +233,8 @@ impl GatConv {
         let adst = f.bind(self.a_dst);
         let s = f.tape.matmul(h, asrc);
         let d = f.tape.matmul(h, adst);
-        f.tape.gat_aggregate(h, s, d, self.loops.as_ref().unwrap(), self.slope)
+        f.tape
+            .gat_aggregate(h, s, d, self.loops.as_ref().unwrap(), self.slope)
     }
 }
 
@@ -224,7 +253,12 @@ pub struct TransformerConv {
 }
 
 impl TransformerConv {
-    pub fn new(ps: &mut ParamSet, in_dim: usize, out_dim: usize, rng: &mut mixq_tensor::Rng) -> Self {
+    pub fn new(
+        ps: &mut ParamSet,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut mixq_tensor::Rng,
+    ) -> Self {
         Self {
             w_q: Linear::new_no_bias(ps, in_dim, out_dim, rng),
             w_k: Linear::new_no_bias(ps, in_dim, out_dim, rng),
@@ -241,7 +275,9 @@ impl TransformerConv {
         let q = self.w_q.forward(f, x);
         let k = self.w_k.forward(f, x);
         let v = self.w_v.forward(f, x);
-        let attn = f.tape.dot_attn_aggregate(q, k, v, self.loops.as_ref().unwrap());
+        let attn = f
+            .tape
+            .dot_attn_aggregate(q, k, v, self.loops.as_ref().unwrap());
         let root = self.w_root.forward(f, x);
         f.tape.add(root, attn)
     }
@@ -280,17 +316,39 @@ mod tests {
             3,
             3,
             vec![
-                CooEntry { row: 0, col: 1, val: 1.0 },
-                CooEntry { row: 1, col: 0, val: 1.0 },
-                CooEntry { row: 1, col: 2, val: 1.0 },
-                CooEntry { row: 2, col: 1, val: 1.0 },
+                CooEntry {
+                    row: 0,
+                    col: 1,
+                    val: 1.0,
+                },
+                CooEntry {
+                    row: 1,
+                    col: 0,
+                    val: 1.0,
+                },
+                CooEntry {
+                    row: 1,
+                    col: 2,
+                    val: 1.0,
+                },
+                CooEntry {
+                    row: 2,
+                    col: 1,
+                    val: 1.0,
+                },
             ],
         )
     }
 
     macro_rules! fwd {
         ($ps:expr, $tape:expr, $binding:expr, $rng:expr) => {
-            Fwd { tape: &mut $tape, ps: &$ps, binding: &mut $binding, rng: &mut $rng, training: true }
+            Fwd {
+                tape: &mut $tape,
+                ps: &$ps,
+                binding: &mut $binding,
+                rng: &mut $rng,
+                training: true,
+            }
         };
     }
 
@@ -362,7 +420,9 @@ mod tests {
 
         let w1 = ps.value(conv.lin_root.w);
         let w2 = ps.value(conv.lin_neigh.w);
-        let expect = x.matmul(w1).zip(&dense_a.matmul(&x).matmul(w2), |a, b| a + b);
+        let expect = x
+            .matmul(w1)
+            .zip(&dense_a.matmul(&x).matmul(w2), |a, b| a + b);
         assert!(tape.value(y).max_abs_diff(&expect) < 1e-5);
     }
 
@@ -433,8 +493,16 @@ mod gat_tests {
             2,
             2,
             vec![
-                CooEntry { row: 0, col: 0, val: 5.0 },
-                CooEntry { row: 0, col: 1, val: 1.0 },
+                CooEntry {
+                    row: 0,
+                    col: 0,
+                    val: 5.0,
+                },
+                CooEntry {
+                    row: 0,
+                    col: 1,
+                    val: 1.0,
+                },
             ],
         );
         let l = with_self_loops(&a);
@@ -453,10 +521,26 @@ mod gat_tests {
             3,
             3,
             vec![
-                CooEntry { row: 0, col: 1, val: 1.0 },
-                CooEntry { row: 1, col: 0, val: 1.0 },
-                CooEntry { row: 1, col: 2, val: 1.0 },
-                CooEntry { row: 2, col: 1, val: 1.0 },
+                CooEntry {
+                    row: 0,
+                    col: 1,
+                    val: 1.0,
+                },
+                CooEntry {
+                    row: 1,
+                    col: 0,
+                    val: 1.0,
+                },
+                CooEntry {
+                    row: 1,
+                    col: 2,
+                    val: 1.0,
+                },
+                CooEntry {
+                    row: 2,
+                    col: 1,
+                    val: 1.0,
+                },
             ],
         );
         let pair = SpPair::new(adj);
@@ -499,8 +583,16 @@ mod transformer_tests {
             4,
             4,
             vec![
-                CooEntry { row: 0, col: 1, val: 1.0 },
-                CooEntry { row: 1, col: 0, val: 1.0 },
+                CooEntry {
+                    row: 0,
+                    col: 1,
+                    val: 1.0,
+                },
+                CooEntry {
+                    row: 1,
+                    col: 0,
+                    val: 1.0,
+                },
             ],
         );
         let pair = SpPair::new(adj);
@@ -524,8 +616,9 @@ mod transformer_tests {
         let wr = ps.value(conv.w_root.w);
         for node in [2usize, 3] {
             for c in 0..5 {
-                let expect: f32 =
-                    (0..3).map(|k| x.get(node, k) * (wv.get(k, c) + wr.get(k, c))).sum();
+                let expect: f32 = (0..3)
+                    .map(|k| x.get(node, k) * (wv.get(k, c) + wr.get(k, c)))
+                    .sum();
                 assert!(
                     (tape.value(y).get(node, c) - expect).abs() < 1e-5,
                     "self-loop-only node must be root + value transform"

@@ -24,7 +24,12 @@ impl Linear {
     }
 
     pub fn new_no_bias(ps: &mut ParamSet, in_dim: usize, out_dim: usize, rng: &mut Rng) -> Self {
-        Self { w: ps.add_glorot(in_dim, out_dim, rng), b: None, in_dim, out_dim }
+        Self {
+            w: ps.add_glorot(in_dim, out_dim, rng),
+            b: None,
+            in_dim,
+            out_dim,
+        }
     }
 
     pub fn forward(&self, f: &mut Fwd, x: Var) -> Var {
@@ -156,7 +161,12 @@ mod tests {
     use mixq_tensor::{Matrix, Rng, Tape};
 
     fn fwd_env() -> (ParamSet, Tape, Binding, Rng) {
-        (ParamSet::new(), Tape::new(), Binding::new(), Rng::seed_from_u64(0))
+        (
+            ParamSet::new(),
+            Tape::new(),
+            Binding::new(),
+            Rng::seed_from_u64(0),
+        )
     }
 
     #[test]
@@ -164,8 +174,16 @@ mod tests {
         let (mut ps, mut tape, mut binding, mut rng) = fwd_env();
         let lin = Linear::new(&mut ps, 4, 3, &mut rng);
         // Set a known bias.
-        ps.value_mut(lin.b.unwrap()).data_mut().copy_from_slice(&[1.0, 2.0, 3.0]);
-        let mut f = Fwd { tape: &mut tape, ps: &ps, binding: &mut binding, rng: &mut rng, training: true };
+        ps.value_mut(lin.b.unwrap())
+            .data_mut()
+            .copy_from_slice(&[1.0, 2.0, 3.0]);
+        let mut f = Fwd {
+            tape: &mut tape,
+            ps: &ps,
+            binding: &mut binding,
+            rng: &mut rng,
+            training: true,
+        };
         let x = f.tape.constant(Matrix::zeros(5, 4));
         let y = lin.forward(&mut f, x);
         assert_eq!(f.tape.value(y).shape(), (5, 3));
@@ -233,9 +251,17 @@ mod tests {
             let xv = f.tape.constant(x);
             let _ = bn.forward(&mut f, xv);
         }
-        assert!((bn.running_mean[0] - 3.0).abs() < 0.3, "{:?}", bn.running_mean);
+        assert!(
+            (bn.running_mean[0] - 3.0).abs() < 0.3,
+            "{:?}",
+            bn.running_mean
+        );
         assert!((bn.running_mean[1] + 1.0).abs() < 0.3);
-        assert!((bn.running_var[0] - 0.25).abs() < 0.15, "{:?}", bn.running_var);
+        assert!(
+            (bn.running_var[0] - 0.25).abs() < 0.15,
+            "{:?}",
+            bn.running_var
+        );
     }
 
     #[test]

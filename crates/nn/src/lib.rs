@@ -21,10 +21,9 @@ pub use metrics::{
     accuracy, confusion_matrix, macro_f1, mean_std, pearson, roc_auc, roc_auc_mean, spearman,
 };
 pub use models::{
-    eval_graph, eval_node, train_graph, train_node, AppnpNet, GatNet, GcnGraphNet, GcnNet, GinGraphNet,
-    GinNet, GraphBundle, GraphNet, NodeBundle, NodeNet, SageNet, SgcNet, TagNet, TrainConfig,
-    UniMpNet,
-    TrainReport,
+    eval_graph, eval_node, train_graph, train_node, AppnpNet, GatNet, GcnGraphNet, GcnNet,
+    GinGraphNet, GinNet, GraphBundle, GraphNet, NodeBundle, NodeNet, SageNet, SgcNet, TagNet,
+    TrainConfig, TrainReport, UniMpNet,
 };
 pub use optim::{clip_grad_norm, Adam, LrSchedule, Sgd};
 pub use param::{Binding, Fwd, Param, ParamId, ParamSet};

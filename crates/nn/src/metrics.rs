@@ -151,7 +151,10 @@ mod tests {
     fn auc_random_is_half() {
         let scores = vec![0.5; 10];
         let labels: Vec<f32> = (0..10).map(|i| (i % 2) as f32).collect();
-        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-9, "all-tied scores give 0.5");
+        assert!(
+            (roc_auc(&scores, &labels) - 0.5).abs() < 1e-9,
+            "all-tied scores give 0.5"
+        );
     }
 
     #[test]
@@ -213,8 +216,14 @@ pub fn macro_f1(logits: &Matrix, labels: &[usize], idx: &[usize], num_classes: u
     let mut total = 0f64;
     for (c, row) in m.iter().enumerate() {
         let tp = row[c] as f64;
-        let fp: f64 = (0..num_classes).filter(|&a| a != c).map(|a| m[a][c] as f64).sum();
-        let fneg: f64 = (0..num_classes).filter(|&p| p != c).map(|p| row[p] as f64).sum();
+        let fp: f64 = (0..num_classes)
+            .filter(|&a| a != c)
+            .map(|a| m[a][c] as f64)
+            .sum();
+        let fneg: f64 = (0..num_classes)
+            .filter(|&p| p != c)
+            .map(|p| row[p] as f64)
+            .sum();
         if tp + fp + fneg > 0.0 {
             total += 2.0 * tp / (2.0 * tp + fp + fneg);
         }

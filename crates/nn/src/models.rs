@@ -11,7 +11,9 @@ use mixq_graph::{batch_graphs, GraphDataset, NodeDataset, NodeTargets};
 use mixq_sparse::{gcn_normalize, row_normalize};
 use mixq_tensor::{Matrix, Rng, SpPair, Tape, Var};
 
-use crate::conv::{AppnpProp, GatConv, GcnConv, GinConv, SageConv, SgcConv, TagConv, TransformerConv};
+use crate::conv::{
+    AppnpProp, GatConv, GcnConv, GinConv, SageConv, SgcConv, TagConv, TransformerConv,
+};
 use crate::layers::{Linear, Mlp};
 use crate::metrics::{accuracy, roc_auc_mean};
 use crate::optim::Adam;
@@ -100,7 +102,10 @@ pub struct GcnNet {
 impl GcnNet {
     /// `dims = [in, h…, classes]`.
     pub fn new(ps: &mut ParamSet, dims: &[usize], dropout: f32, rng: &mut Rng) -> Self {
-        let convs = dims.windows(2).map(|w| GcnConv::new(ps, w[0], w[1], rng)).collect();
+        let convs = dims
+            .windows(2)
+            .map(|w| GcnConv::new(ps, w[0], w[1], rng))
+            .collect();
         Self { convs, dropout }
     }
 
@@ -135,7 +140,10 @@ pub struct SageNet {
 
 impl SageNet {
     pub fn new(ps: &mut ParamSet, dims: &[usize], dropout: f32, rng: &mut Rng) -> Self {
-        let convs = dims.windows(2).map(|w| SageConv::new(ps, w[0], w[1], rng)).collect();
+        let convs = dims
+            .windows(2)
+            .map(|w| SageConv::new(ps, w[0], w[1], rng))
+            .collect();
         Self { convs, dropout }
     }
 
@@ -210,7 +218,10 @@ pub struct TagNet {
 
 impl TagNet {
     pub fn new(ps: &mut ParamSet, dims: &[usize], dropout: f32, rng: &mut Rng) -> Self {
-        let convs = dims.windows(2).map(|w| TagConv::new(ps, w[0], w[1], 2, rng)).collect();
+        let convs = dims
+            .windows(2)
+            .map(|w| TagConv::new(ps, w[0], w[1], 2, rng))
+            .collect();
         Self { convs, dropout }
     }
 
@@ -248,7 +259,10 @@ pub struct GatNet {
 
 impl GatNet {
     pub fn new(ps: &mut ParamSet, dims: &[usize], dropout: f32, rng: &mut Rng) -> Self {
-        let convs = dims.windows(2).map(|w| GatConv::new(ps, w[0], w[1], rng)).collect();
+        let convs = dims
+            .windows(2)
+            .map(|w| GatConv::new(ps, w[0], w[1], rng))
+            .collect();
         Self { convs, dropout }
     }
 
@@ -288,7 +302,10 @@ pub struct UniMpNet {
 
 impl UniMpNet {
     pub fn new(ps: &mut ParamSet, dims: &[usize], dropout: f32, rng: &mut Rng) -> Self {
-        let convs = dims.windows(2).map(|w| TransformerConv::new(ps, w[0], w[1], rng)).collect();
+        let convs = dims
+            .windows(2)
+            .map(|w| TransformerConv::new(ps, w[0], w[1], rng))
+            .collect();
         Self { convs, dropout }
     }
 
@@ -323,8 +340,16 @@ pub struct SgcNet {
 }
 
 impl SgcNet {
-    pub fn new(ps: &mut ParamSet, in_dim: usize, classes: usize, depth: usize, rng: &mut Rng) -> Self {
-        Self { conv: SgcConv::new(ps, in_dim, classes, depth, rng) }
+    pub fn new(
+        ps: &mut ParamSet,
+        in_dim: usize,
+        classes: usize,
+        depth: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        Self {
+            conv: SgcConv::new(ps, in_dim, classes, depth, rng),
+        }
     }
 
     pub fn macs(&self, n: u64, nnz: u64) -> u64 {
@@ -354,7 +379,11 @@ impl AppnpNet {
         dropout: f32,
         rng: &mut Rng,
     ) -> Self {
-        Self { mlp: Mlp::new(ps, dims, false, rng), prop: AppnpProp { k, alpha }, dropout }
+        Self {
+            mlp: Mlp::new(ps, dims, false, rng),
+            prop: AppnpProp { k, alpha },
+            dropout,
+        }
     }
 
     pub fn macs(&self, n: u64, nnz: u64) -> u64 {
@@ -441,7 +470,10 @@ impl GcnGraphNet {
             let ind = if i == 0 { in_dim } else { hidden };
             convs.push(GcnConv::new(ps, ind, hidden, rng));
         }
-        Self { convs, head: Linear::new(ps, hidden, classes, rng) }
+        Self {
+            convs,
+            head: Linear::new(ps, hidden, classes, rng),
+        }
     }
 }
 
@@ -470,7 +502,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 150, lr: 0.01, weight_decay: 5e-4, seed: 0, patience: 40 }
+        Self {
+            epochs: 150,
+            lr: 0.01,
+            weight_decay: 5e-4,
+            seed: 0,
+            patience: 40,
+        }
     }
 }
 
@@ -536,7 +574,12 @@ pub fn train_node<M: NodeNet>(
     }
     *ps = best_ps;
     let test_metric = eval_node(model, ps, ds, bundle, &ds.test_idx, &mut rng);
-    TrainReport { best_val, test_metric, best_epoch, final_train_loss: last_loss }
+    TrainReport {
+        best_val,
+        test_metric,
+        best_epoch,
+        final_train_loss: last_loss,
+    }
 }
 
 /// Evaluates a node network on the rows in `idx` (accuracy or mean ROC-AUC).
@@ -550,7 +593,13 @@ pub fn eval_node<M: NodeNet>(
 ) -> f64 {
     let mut tape = Tape::new();
     let mut binding = Binding::new();
-    let mut f = Fwd { tape: &mut tape, ps, binding: &mut binding, rng, training: false };
+    let mut f = Fwd {
+        tape: &mut tape,
+        ps,
+        binding: &mut binding,
+        rng,
+        training: false,
+    };
     let x = f.tape.constant(bundle.features.clone());
     let logits = model.forward(&mut f, bundle, x);
     match &ds.targets {
@@ -604,7 +653,13 @@ pub fn eval_graph<M: GraphNet>(
 ) -> f64 {
     let mut tape = Tape::new();
     let mut binding = Binding::new();
-    let mut f = Fwd { tape: &mut tape, ps, binding: &mut binding, rng, training: false };
+    let mut f = Fwd {
+        tape: &mut tape,
+        ps,
+        binding: &mut binding,
+        rng,
+        training: false,
+    };
     let x = f.tape.constant(bundle.features.clone());
     let logits = model.forward(&mut f, bundle, x);
     let idx: Vec<usize> = (0..bundle.num_graphs()).collect();
@@ -645,7 +700,13 @@ mod trainer_tests {
         let mut ps = ParamSet::new();
         let dims = [ds.feat_dim(), 8, ds.num_classes()];
         let mut net = GcnNet::new(&mut ps, &dims, 0.5, &mut rng);
-        let cfg = TrainConfig { epochs: 60, lr: 0.05, weight_decay: 0.0, seed: 0, patience: 10 };
+        let cfg = TrainConfig {
+            epochs: 60,
+            lr: 0.05,
+            weight_decay: 0.0,
+            seed: 0,
+            patience: 10,
+        };
         let rep = train_node(&mut net, &mut ps, &ds, &bundle, &cfg);
         // After training, evaluating with the restored parameters must give
         // exactly the reported best validation metric.
@@ -666,7 +727,13 @@ mod trainer_tests {
         let mut ps = ParamSet::new();
         let dims = [ds.feat_dim(), 8, ds.num_classes()];
         let mut net = GcnNet::new(&mut ps, &dims, 0.5, &mut rng);
-        let cfg = TrainConfig { epochs: 12, lr: 0.01, weight_decay: 0.0, seed: 0, patience: 0 };
+        let cfg = TrainConfig {
+            epochs: 12,
+            lr: 0.01,
+            weight_decay: 0.0,
+            seed: 0,
+            patience: 0,
+        };
         let rep = train_node(&mut net, &mut ps, &ds, &bundle, &cfg);
         assert!(rep.best_epoch < 12);
         assert!(rep.final_train_loss.is_finite());

@@ -15,7 +15,14 @@ pub struct Adam {
 
 impl Adam {
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0 }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+        }
     }
 
     pub fn with_weight_decay(mut self, wd: f32) -> Self {
@@ -116,7 +123,10 @@ mod tests {
 
     #[test]
     fn sgd_with_momentum_converges() {
-        let mut opt = Sgd { lr: 0.02, momentum: 0.9 };
+        let mut opt = Sgd {
+            lr: 0.02,
+            momentum: 0.9,
+        };
         converges(&mut |ps| opt.step(ps));
     }
 
@@ -151,9 +161,7 @@ impl LrSchedule {
     pub fn at(&self, base: f32, epoch: usize) -> f32 {
         match *self {
             LrSchedule::Constant => base,
-            LrSchedule::Step { every, gamma } => {
-                base * gamma.powi((epoch / every.max(1)) as i32)
-            }
+            LrSchedule::Step { every, gamma } => base * gamma.powi((epoch / every.max(1)) as i32),
             LrSchedule::Cosine { total, min_lr } => {
                 let t = (epoch as f32 / total.max(1) as f32).min(1.0);
                 min_lr + 0.5 * (base - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
@@ -196,12 +204,18 @@ mod schedule_tests {
 
     #[test]
     fn schedules_produce_expected_rates() {
-        let s = LrSchedule::Step { every: 10, gamma: 0.5 };
+        let s = LrSchedule::Step {
+            every: 10,
+            gamma: 0.5,
+        };
         assert_eq!(s.at(1.0, 0), 1.0);
         assert_eq!(s.at(1.0, 10), 0.5);
         assert_eq!(s.at(1.0, 25), 0.25);
 
-        let c = LrSchedule::Cosine { total: 100, min_lr: 0.0 };
+        let c = LrSchedule::Cosine {
+            total: 100,
+            min_lr: 0.0,
+        };
         assert!((c.at(1.0, 0) - 1.0).abs() < 1e-6);
         assert!((c.at(1.0, 50) - 0.5).abs() < 1e-6);
         assert!(c.at(1.0, 100) < 1e-6);

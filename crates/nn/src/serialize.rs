@@ -57,7 +57,9 @@ pub fn params_from_string(s: &str) -> Result<ParamSet, String> {
         .map_err(|e| format!("bad parameter count: {e}"))?;
     let mut ps = ParamSet::new();
     for i in 0..count {
-        let shape = lines.next().ok_or_else(|| format!("missing shape of param {i}"))?;
+        let shape = lines
+            .next()
+            .ok_or_else(|| format!("missing shape of param {i}"))?;
         let mut it = shape.split_whitespace();
         let rows: usize = it
             .next()
@@ -67,10 +69,15 @@ pub fn params_from_string(s: &str) -> Result<ParamSet, String> {
             .next()
             .and_then(|v| v.parse().ok())
             .ok_or_else(|| format!("bad cols of param {i}"))?;
-        let data_line = lines.next().ok_or_else(|| format!("missing data of param {i}"))?;
+        let data_line = lines
+            .next()
+            .ok_or_else(|| format!("missing data of param {i}"))?;
         let data: Vec<f32> = data_line
             .split_whitespace()
-            .map(|v| v.parse::<f32>().map_err(|e| format!("bad value in param {i}: {e}")))
+            .map(|v| {
+                v.parse::<f32>()
+                    .map_err(|e| format!("bad value in param {i}: {e}"))
+            })
             .collect::<Result<_, _>>()?;
         if data.len() != rows * cols {
             return Err(format!(
@@ -108,7 +115,11 @@ mod tests {
         let mut rng = Rng::seed_from_u64(1);
         ps.add_glorot(3, 5, &mut rng);
         ps.add(Matrix::scalar(-1.5e-7));
-        ps.add(Matrix::from_vec(1, 3, vec![f32::MIN_POSITIVE, 0.1 + 0.2, -0.0]));
+        ps.add(Matrix::from_vec(
+            1,
+            3,
+            vec![f32::MIN_POSITIVE, 0.1 + 0.2, -0.0],
+        ));
         let text = params_to_string(&ps);
         let back = params_from_string(&text).unwrap();
         assert_eq!(back.len(), ps.len());

@@ -1,4 +1,11 @@
 //! Compressed sparse row matrices over `f32`.
+//!
+//! The SpMM kernel partitions output rows across the scoped-thread runtime
+//! in `mixq-parallel`; each thread owns a disjoint row range of `y` and the
+//! per-row accumulation order is unchanged, so results are bit-identical to
+//! the serial kernel at any thread count.
+
+use mixq_parallel::par_row_chunks_mut;
 
 /// One coordinate-format entry `(row, col, value)` used to build a CSR matrix.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,12 +73,21 @@ impl CsrMatrix {
         for r in 0..rows {
             row_ptr[r + 1] += row_ptr[r];
         }
-        let m = Self { rows, cols, row_ptr, col_idx, values };
-        m.check_invariants();
+        let m = Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        };
+        m.check_invariants_on_build();
         m
     }
 
-    /// Builds directly from raw CSR parts, validating all invariants.
+    /// Builds directly from raw CSR parts, validating all invariants (the
+    /// full `O(nnz)` scan in debug builds, the `O(rows)` structural checks
+    /// in release — call [`CsrMatrix::check_invariants`] for an explicit
+    /// full validation of untrusted data).
     pub fn from_parts(
         rows: usize,
         cols: usize,
@@ -79,8 +95,14 @@ impl CsrMatrix {
         col_idx: Vec<usize>,
         values: Vec<f32>,
     ) -> Self {
-        let m = Self { rows, cols, row_ptr, col_idx, values };
-        m.check_invariants();
+        let m = Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        };
+        m.check_invariants_on_build();
         m
     }
 
@@ -95,18 +117,15 @@ impl CsrMatrix {
         }
     }
 
-    /// Panics if any CSR structural invariant is violated.
+    /// Panics if any CSR structural invariant is violated. `O(nnz)` — runs
+    /// on every constructor call in debug builds; in release builds the
+    /// constructors only do the `O(rows)` checks of
+    /// [`CsrMatrix::check_invariants_cheap`] (the full scan made `transpose`
+    /// and every `from_coo` in training loops quadratic-feeling on large
+    /// graphs). Call this directly to validate untrusted data.
     pub fn check_invariants(&self) {
-        assert_eq!(self.row_ptr.len(), self.rows + 1, "row_ptr length");
-        assert_eq!(self.row_ptr[0], 0, "row_ptr must start at 0");
-        assert_eq!(
-            *self.row_ptr.last().unwrap(),
-            self.col_idx.len(),
-            "row_ptr must end at nnz"
-        );
-        assert_eq!(self.col_idx.len(), self.values.len(), "col/val length mismatch");
+        self.check_invariants_cheap();
         for r in 0..self.rows {
-            assert!(self.row_ptr[r] <= self.row_ptr[r + 1], "row_ptr not monotone");
             let cols = &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]];
             for w in cols.windows(2) {
                 assert!(w[0] < w[1], "columns not strictly increasing in row {r}");
@@ -114,6 +133,40 @@ impl CsrMatrix {
             if let Some(&c) = cols.last() {
                 assert!(c < self.cols, "column index out of bounds");
             }
+        }
+    }
+
+    /// The `O(rows)` subset of the invariants: array lengths, first/last
+    /// row pointers, and row-pointer monotonicity. Cheap enough to run on
+    /// every constructor call even in release builds.
+    pub fn check_invariants_cheap(&self) {
+        assert_eq!(self.row_ptr.len(), self.rows + 1, "row_ptr length");
+        assert_eq!(self.row_ptr[0], 0, "row_ptr must start at 0");
+        assert_eq!(
+            *self.row_ptr.last().unwrap(),
+            self.col_idx.len(),
+            "row_ptr must end at nnz"
+        );
+        assert_eq!(
+            self.col_idx.len(),
+            self.values.len(),
+            "col/val length mismatch"
+        );
+        for r in 0..self.rows {
+            assert!(
+                self.row_ptr[r] <= self.row_ptr[r + 1],
+                "row_ptr not monotone"
+            );
+        }
+    }
+
+    /// Constructor-time validation: full scan in debug, cheap checks in
+    /// release.
+    fn check_invariants_on_build(&self) {
+        if cfg!(debug_assertions) {
+            self.check_invariants();
+        } else {
+            self.check_invariants_cheap();
         }
     }
 
@@ -149,7 +202,10 @@ impl CsrMatrix {
     /// Iterator over `(col, value)` pairs of row `r`.
     pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
         let (s, e) = (self.row_ptr[r], self.row_ptr[r + 1]);
-        self.col_idx[s..e].iter().copied().zip(self.values[s..e].iter().copied())
+        self.col_idx[s..e]
+            .iter()
+            .copied()
+            .zip(self.values[s..e].iter().copied())
     }
 
     /// Value at `(r, c)`, or 0 if structurally zero. Binary-searches the row.
@@ -197,13 +253,19 @@ impl CsrMatrix {
 
     /// Number of structural non-zeros per row.
     pub fn row_degrees(&self) -> Vec<usize> {
-        (0..self.rows).map(|r| self.row_ptr[r + 1] - self.row_ptr[r]).collect()
+        (0..self.rows)
+            .map(|r| self.row_ptr[r + 1] - self.row_ptr[r])
+            .collect()
     }
 
     /// Weighted row sums `A · 1`.
     pub fn row_sums(&self) -> Vec<f32> {
         (0..self.rows)
-            .map(|r| self.values[self.row_ptr[r]..self.row_ptr[r + 1]].iter().sum())
+            .map(|r| {
+                self.values[self.row_ptr[r]..self.row_ptr[r + 1]]
+                    .iter()
+                    .sum()
+            })
             .collect()
     }
 
@@ -224,21 +286,25 @@ impl CsrMatrix {
     }
 
     /// Like [`CsrMatrix::spmm`] but writes into a caller-provided buffer.
+    /// Output rows are partitioned across threads (disjoint `y` slices,
+    /// serial per-row accumulation order ⇒ bit-identical to serial).
     pub fn spmm_into(&self, x: &[f32], x_cols: usize, y: &mut [f32]) {
         assert_eq!(x.len(), self.cols * x_cols);
         assert_eq!(y.len(), self.rows * x_cols);
-        for r in 0..self.rows {
-            let out = &mut y[r * x_cols..(r + 1) * x_cols];
-            out.fill(0.0);
-            for i in self.row_ptr[r]..self.row_ptr[r + 1] {
-                let c = self.col_idx[i];
-                let v = self.values[i];
-                let xr = &x[c * x_cols..(c + 1) * x_cols];
-                for (o, &xv) in out.iter_mut().zip(xr.iter()) {
-                    *o += v * xv;
+        par_row_chunks_mut(y, self.rows, x_cols, |start, chunk| {
+            for (dr, out) in chunk.chunks_mut(x_cols.max(1)).enumerate() {
+                let r = start + dr;
+                out.fill(0.0);
+                for i in self.row_ptr[r]..self.row_ptr[r + 1] {
+                    let c = self.col_idx[i];
+                    let v = self.values[i];
+                    let xr = &x[c * x_cols..(c + 1) * x_cols];
+                    for (o, &xv) in out.iter_mut().zip(xr.iter()) {
+                        *o += v * xv;
+                    }
                 }
             }
-        }
+        });
     }
 
     /// Dense copy of the matrix (row-major), for tests and small examples.
@@ -276,10 +342,26 @@ mod tests {
             3,
             3,
             vec![
-                CooEntry { row: 0, col: 0, val: 1.0 },
-                CooEntry { row: 0, col: 2, val: 2.0 },
-                CooEntry { row: 2, col: 0, val: 3.0 },
-                CooEntry { row: 2, col: 1, val: 4.0 },
+                CooEntry {
+                    row: 0,
+                    col: 0,
+                    val: 1.0,
+                },
+                CooEntry {
+                    row: 0,
+                    col: 2,
+                    val: 2.0,
+                },
+                CooEntry {
+                    row: 2,
+                    col: 0,
+                    val: 3.0,
+                },
+                CooEntry {
+                    row: 2,
+                    col: 1,
+                    val: 4.0,
+                },
             ],
         )
     }
@@ -290,8 +372,16 @@ mod tests {
             2,
             2,
             vec![
-                CooEntry { row: 1, col: 1, val: 4.0 },
-                CooEntry { row: 0, col: 0, val: 1.0 },
+                CooEntry {
+                    row: 1,
+                    col: 1,
+                    val: 4.0,
+                },
+                CooEntry {
+                    row: 0,
+                    col: 0,
+                    val: 1.0,
+                },
             ],
         );
         assert_eq!(m.get(0, 0), 1.0);
@@ -306,8 +396,16 @@ mod tests {
             1,
             1,
             vec![
-                CooEntry { row: 0, col: 0, val: 1.5 },
-                CooEntry { row: 0, col: 0, val: 2.5 },
+                CooEntry {
+                    row: 0,
+                    col: 0,
+                    val: 1.5,
+                },
+                CooEntry {
+                    row: 0,
+                    col: 0,
+                    val: 2.5,
+                },
             ],
         );
         assert_eq!(m.get(0, 0), 4.0);
@@ -360,7 +458,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of bounds")]
     fn rejects_out_of_bounds_entries() {
-        CsrMatrix::from_coo(1, 1, vec![CooEntry { row: 0, col: 5, val: 1.0 }]);
+        CsrMatrix::from_coo(
+            1,
+            1,
+            vec![CooEntry {
+                row: 0,
+                col: 5,
+                val: 1.0,
+            }],
+        );
     }
 
     #[test]

@@ -13,9 +13,17 @@ pub fn gcn_normalize(a: &CsrMatrix) -> CsrMatrix {
     let n = a.rows();
     let mut entries: Vec<CooEntry> = Vec::with_capacity(a.nnz() + n);
     for r in 0..n {
-        entries.push(CooEntry { row: r, col: r, val: 1.0 });
+        entries.push(CooEntry {
+            row: r,
+            col: r,
+            val: 1.0,
+        });
         for (c, v) in a.row(r) {
-            entries.push(CooEntry { row: r, col: c, val: v });
+            entries.push(CooEntry {
+                row: r,
+                col: c,
+                val: v,
+            });
         }
     }
     let with_loops = CsrMatrix::from_coo(n, n, entries);
@@ -47,9 +55,17 @@ pub fn sym_laplacian(a: &CsrMatrix) -> CsrMatrix {
         .collect();
     let mut entries: Vec<CooEntry> = Vec::with_capacity(a.nnz() + n);
     for r in 0..n {
-        entries.push(CooEntry { row: r, col: r, val: 1.0 });
+        entries.push(CooEntry {
+            row: r,
+            col: r,
+            val: 1.0,
+        });
         for (c, v) in a.row(r) {
-            entries.push(CooEntry { row: r, col: c, val: -v * inv_sqrt[r] * inv_sqrt[c] });
+            entries.push(CooEntry {
+                row: r,
+                col: c,
+                val: -v * inv_sqrt[r] * inv_sqrt[c],
+            });
         }
     }
     CsrMatrix::from_coo(n, n, entries)
@@ -65,10 +81,26 @@ mod tests {
             3,
             3,
             vec![
-                CooEntry { row: 0, col: 1, val: 1.0 },
-                CooEntry { row: 1, col: 0, val: 1.0 },
-                CooEntry { row: 1, col: 2, val: 1.0 },
-                CooEntry { row: 2, col: 1, val: 1.0 },
+                CooEntry {
+                    row: 0,
+                    col: 1,
+                    val: 1.0,
+                },
+                CooEntry {
+                    row: 1,
+                    col: 0,
+                    val: 1.0,
+                },
+                CooEntry {
+                    row: 1,
+                    col: 2,
+                    val: 1.0,
+                },
+                CooEntry {
+                    row: 2,
+                    col: 1,
+                    val: 1.0,
+                },
             ],
         )
     }
@@ -112,7 +144,15 @@ mod tests {
 
     #[test]
     fn row_normalize_keeps_isolated_rows_zero() {
-        let a = CsrMatrix::from_coo(2, 2, vec![CooEntry { row: 0, col: 1, val: 2.0 }]);
+        let a = CsrMatrix::from_coo(
+            2,
+            2,
+            vec![CooEntry {
+                row: 0,
+                col: 1,
+                val: 2.0,
+            }],
+        );
         let n = row_normalize(&a);
         assert_eq!(n.get(0, 1), 1.0);
         assert_eq!(n.row_sums()[1], 0.0);

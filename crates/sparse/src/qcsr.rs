@@ -67,7 +67,10 @@ impl QuantCsr {
     /// Iterator over `(col, value)` pairs of row `r`.
     pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, i32)> + '_ {
         let (s, e) = (self.row_ptr[r], self.row_ptr[r + 1]);
-        self.col_idx[s..e].iter().copied().zip(self.values[s..e].iter().copied())
+        self.col_idx[s..e]
+            .iter()
+            .copied()
+            .zip(self.values[s..e].iter().copied())
     }
 
     /// Integer row sums `Σ_c Q_a(A)_{r,c}`, needed by Theorem 1's zero-point
@@ -85,21 +88,29 @@ impl QuantCsr {
 }
 
 /// Integer sparse × dense product `Y = Q_a(A) · Q_x(X)` with `i64`
-/// accumulation. `x` is row-major with `x_cols` columns.
+/// accumulation. `x` is row-major with `x_cols` columns. Output rows are
+/// partitioned across the `mixq-parallel` runtime; integer accumulation is
+/// associative, so the result is exact at any thread count.
 pub fn spmm_int(a: &QuantCsr, x: &[i32], x_cols: usize) -> Vec<i64> {
-    assert_eq!(x.len(), a.cols * x_cols, "spmm_int: dense operand has wrong size");
+    assert_eq!(
+        x.len(),
+        a.cols * x_cols,
+        "spmm_int: dense operand has wrong size"
+    );
     let mut y = vec![0i64; a.rows * x_cols];
-    for r in 0..a.rows {
-        let out = &mut y[r * x_cols..(r + 1) * x_cols];
-        for i in a.row_ptr[r]..a.row_ptr[r + 1] {
-            let c = a.col_idx[i];
-            let v = a.values[i] as i64;
-            let xr = &x[c * x_cols..(c + 1) * x_cols];
-            for (o, &xv) in out.iter_mut().zip(xr.iter()) {
-                *o += v * xv as i64;
+    mixq_parallel::par_row_chunks_mut(&mut y, a.rows, x_cols, |start, chunk| {
+        for (dr, out) in chunk.chunks_mut(x_cols.max(1)).enumerate() {
+            let r = start + dr;
+            for i in a.row_ptr[r]..a.row_ptr[r + 1] {
+                let c = a.col_idx[i];
+                let v = a.values[i] as i64;
+                let xr = &x[c * x_cols..(c + 1) * x_cols];
+                for (o, &xv) in out.iter_mut().zip(xr.iter()) {
+                    *o += v * xv as i64;
+                }
             }
         }
-    }
+    });
     y
 }
 
@@ -113,9 +124,21 @@ mod tests {
             2,
             3,
             vec![
-                CooEntry { row: 0, col: 0, val: 1.0 },
-                CooEntry { row: 0, col: 2, val: -2.0 },
-                CooEntry { row: 1, col: 1, val: 3.0 },
+                CooEntry {
+                    row: 0,
+                    col: 0,
+                    val: 1.0,
+                },
+                CooEntry {
+                    row: 0,
+                    col: 2,
+                    val: -2.0,
+                },
+                CooEntry {
+                    row: 1,
+                    col: 1,
+                    val: 3.0,
+                },
             ],
         )
     }
@@ -148,8 +171,13 @@ mod tests {
     #[test]
     fn accumulates_without_overflow_in_i64() {
         // 1000 entries of 127 * 127 stays exact in i64.
-        let entries: Vec<CooEntry> =
-            (0..1000).map(|c| CooEntry { row: 0, col: c, val: 127.0 }).collect();
+        let entries: Vec<CooEntry> = (0..1000)
+            .map(|c| CooEntry {
+                row: 0,
+                col: c,
+                val: 127.0,
+            })
+            .collect();
         let a = CsrMatrix::from_coo(1, 1000, entries);
         let q = QuantCsr::from_csr(&a, 8, |_, _, v| v as i32);
         let x = vec![127i32; 1000];

@@ -1,0 +1,120 @@
+//! Property tests: the parallel SpMM kernels are bit-identical to the
+//! serial kernels for random shapes at 1–8 threads, including matrices
+//! with empty rows, a single row, and zero columns.
+//!
+//! Everything lives in one `#[test]` because the thread count and the
+//! serial-fallback threshold are process-wide knobs; separate tests would
+//! race on them.
+
+use mixq_parallel::{set_num_threads, set_parallel_row_threshold};
+use mixq_sparse::{spmm_int, CooEntry, CsrMatrix, QuantCsr};
+
+/// Minimal SplitMix64 for test-case generation.
+struct Sm(u64);
+
+impl Sm {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Random CSR with deliberately skewed structure: some rows dense-ish,
+/// many rows empty (degree skew is the regime Degree-Quant identifies as
+/// the SpMM bottleneck).
+fn random_csr(s: &mut Sm, rows: usize, cols: usize) -> CsrMatrix {
+    let mut entries = Vec::new();
+    for r in 0..rows {
+        // ~half the rows stay empty; the rest get up to `cols` entries.
+        if s.below(2) == 0 {
+            continue;
+        }
+        let deg = 1 + s.below(cols);
+        for _ in 0..deg {
+            entries.push(CooEntry {
+                row: r,
+                col: s.below(cols),
+                val: (s.below(17) as i32 - 8) as f32 * 0.25,
+            });
+        }
+    }
+    CsrMatrix::from_coo(rows, cols, entries)
+}
+
+#[test]
+fn parallel_spmm_bit_identical_to_serial() {
+    // Force the threaded path even for tiny shapes.
+    set_parallel_row_threshold(0);
+
+    let shapes = [
+        (1usize, 5usize),
+        (2, 2),
+        (7, 3),
+        (16, 16),
+        (33, 8),
+        (64, 40),
+    ];
+    for (case, &(rows, cols)) in shapes.iter().enumerate() {
+        let mut s = Sm(0xC0FFEE + case as u64);
+        let a = random_csr(&mut s, rows, cols);
+        for fdim in [1usize, 3, 8] {
+            let x: Vec<f32> = (0..cols * fdim)
+                .map(|_| (s.below(41) as i32 - 20) as f32 * 0.125)
+                .collect();
+            let xi: Vec<i32> = (0..cols * fdim)
+                .map(|_| s.below(255) as i32 - 127)
+                .collect();
+            let q = QuantCsr::from_csr(&a, 8, |_, _, v| (v * 4.0) as i32);
+
+            set_num_threads(1);
+            let y_serial = a.spmm(&x, fdim);
+            let yi_serial = spmm_int(&q, &xi, fdim);
+
+            for threads in 2..=8usize {
+                set_num_threads(threads);
+                let y_par = a.spmm(&x, fdim);
+                // f32 bit-identity, not approximate equality.
+                assert!(
+                    y_serial
+                        .iter()
+                        .zip(&y_par)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "f32 spmm diverged: shape {rows}×{cols}, fdim {fdim}, {threads} threads"
+                );
+                let yi_par = spmm_int(&q, &xi, fdim);
+                assert_eq!(
+                    yi_serial, yi_par,
+                    "int spmm diverged: shape {rows}×{cols}, fdim {fdim}, {threads} threads"
+                );
+            }
+        }
+    }
+
+    // Degenerate cases: empty matrix, single empty row, zero feature dim.
+    set_num_threads(8);
+    let empty = CsrMatrix::from_coo(4, 4, Vec::new());
+    assert!(empty.spmm(&[1.0; 8], 2).iter().all(|&v| v == 0.0));
+    let one_row = CsrMatrix::from_coo(
+        1,
+        3,
+        vec![CooEntry {
+            row: 0,
+            col: 1,
+            val: 2.0,
+        }],
+    );
+    assert_eq!(one_row.spmm(&[1.0, 3.0, 5.0], 1), vec![6.0]);
+    let q = QuantCsr::from_csr(&one_row, 8, |_, _, v| v as i32);
+    assert_eq!(spmm_int(&q, &[0i32; 0], 0), Vec::<i64>::new());
+
+    // Restore defaults for any later test in this binary.
+    set_num_threads(1);
+    set_parallel_row_threshold(mixq_parallel::DEFAULT_ROW_THRESHOLD);
+}

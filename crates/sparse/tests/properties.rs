@@ -1,34 +1,66 @@
 //! Property-based tests of the sparse substrate.
-
-use proptest::prelude::*;
+//!
+//! Randomized with the workspace's seeded RNG stream (a self-contained
+//! SplitMix64 here, to avoid a dependency cycle on `mixq-tensor`) instead
+//! of proptest: external dev-dependencies cannot be fetched in the offline
+//! build environment.
 
 use mixq_sparse::{gcn_normalize, row_normalize, spmm_int, CooEntry, CsrMatrix, QuantCsr};
 
-/// Strategy: a random sparse matrix as (rows, cols, entries).
-fn coo_matrix() -> impl Strategy<Value = (usize, usize, Vec<CooEntry>)> {
-    (1usize..8, 1usize..8).prop_flat_map(|(r, c)| {
-        let entry = (0..r, 0..c, -10i32..10).prop_map(|(row, col, v)| CooEntry {
-            row,
-            col,
-            val: v as f32 * 0.5,
-        });
-        (Just(r), Just(c), proptest::collection::vec(entry, 0..20))
-    })
-}
+/// Minimal SplitMix64 for test-case generation.
+struct Sm(u64);
 
-proptest! {
-    #[test]
-    fn transpose_is_involutive((r, c, entries) in coo_matrix()) {
-        let m = CsrMatrix::from_coo(r, c, entries);
-        prop_assert_eq!(m.transpose().transpose(), m);
+impl Sm {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
     }
 
-    #[test]
-    fn spmm_matches_dense_reference((r, c, entries) in coo_matrix(), fdim in 1usize..5) {
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Random sparse matrix as (rows, cols, entries): shapes 1..8, up to 20
+/// possibly-duplicate entries with values in ±5 (the proptest strategy this
+/// replaces used the same ranges).
+fn coo_matrix(seed: u64) -> (usize, usize, Vec<CooEntry>) {
+    let mut s = Sm(seed);
+    let r = 1 + s.below(7);
+    let c = 1 + s.below(7);
+    let n = s.below(20);
+    let entries = (0..n)
+        .map(|_| CooEntry {
+            row: s.below(r),
+            col: s.below(c),
+            val: (s.below(20) as i32 - 10) as f32 * 0.5,
+        })
+        .collect();
+    (r, c, entries)
+}
+
+const CASES: u64 = 256;
+
+#[test]
+fn transpose_is_involutive() {
+    for seed in 0..CASES {
+        let (r, c, entries) = coo_matrix(seed);
+        let m = CsrMatrix::from_coo(r, c, entries);
+        assert_eq!(m.transpose().transpose(), m, "seed {seed}");
+    }
+}
+
+#[test]
+fn spmm_matches_dense_reference() {
+    for seed in 0..CASES {
+        let (r, c, entries) = coo_matrix(seed);
+        let fdim = 1 + (seed as usize % 4);
         let m = CsrMatrix::from_coo(r, c, entries);
         let x: Vec<f32> = (0..c * fdim).map(|i| (i as f32) * 0.25 - 1.0).collect();
         let y = m.spmm(&x, fdim);
-        // Dense reference.
         let d = m.to_dense();
         for i in 0..r {
             for j in 0..fdim {
@@ -36,71 +68,108 @@ proptest! {
                 for k in 0..c {
                     acc += d[i * c + k] * x[k * fdim + j];
                 }
-                prop_assert!((y[i * fdim + j] - acc).abs() < 1e-4);
+                assert!(
+                    (y[i * fdim + j] - acc).abs() < 1e-4,
+                    "seed {seed} at ({i},{j})"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn duplicate_entries_sum((r, c, entries) in coo_matrix()) {
+#[test]
+fn duplicate_entries_sum() {
+    for seed in 0..CASES {
+        let (r, c, entries) = coo_matrix(seed);
         // Doubling every entry doubles every value.
         let m1 = CsrMatrix::from_coo(r, c, entries.clone());
-        let doubled: Vec<CooEntry> =
-            entries.iter().flat_map(|e| [*e, *e]).collect();
+        let doubled: Vec<CooEntry> = entries.iter().flat_map(|e| [*e, *e]).collect();
         let m2 = CsrMatrix::from_coo(r, c, doubled);
-        prop_assert_eq!(m1.nnz(), m2.nnz());
+        assert_eq!(m1.nnz(), m2.nnz(), "seed {seed}");
         for row in 0..r {
             for (col, v) in m1.row(row) {
-                prop_assert!((m2.get(row, col) - 2.0 * v).abs() < 1e-5);
+                assert!((m2.get(row, col) - 2.0 * v).abs() < 1e-5, "seed {seed}");
             }
         }
     }
+}
 
-    #[test]
-    fn gcn_normalize_entries_bounded(n in 1usize..8, seed in 0u64..500) {
+#[test]
+fn gcn_normalize_entries_bounded() {
+    for seed in 0..500u64 {
+        let mut s = Sm(seed);
+        let n = 1 + s.below(7);
         // Build a random symmetric unit-weight graph.
         let mut entries = Vec::new();
-        let mut s = seed;
         for i in 0..n {
             for j in (i + 1)..n {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                if s >> 62 == 0 {
-                    entries.push(CooEntry { row: i, col: j, val: 1.0 });
-                    entries.push(CooEntry { row: j, col: i, val: 1.0 });
+                if s.next() >> 62 == 0 {
+                    entries.push(CooEntry {
+                        row: i,
+                        col: j,
+                        val: 1.0,
+                    });
+                    entries.push(CooEntry {
+                        row: j,
+                        col: i,
+                        val: 1.0,
+                    });
                 }
             }
         }
         let a = CsrMatrix::from_coo(n, n, entries);
         let norm = gcn_normalize(&a);
         for i in 0..n {
-            prop_assert!(norm.get(i, i) > 0.0, "diagonal must be positive");
+            assert!(
+                norm.get(i, i) > 0.0,
+                "diagonal must be positive (seed {seed})"
+            );
         }
         for i in 0..n {
             for (j, v) in norm.row(i) {
-                prop_assert!(v > 0.0 && v <= 1.0 + 1e-6, "entry ({},{}) = {}", i, j, v);
+                assert!(
+                    v > 0.0 && v <= 1.0 + 1e-6,
+                    "entry ({i},{j}) = {v} (seed {seed})"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn row_normalize_rows_sum_to_one_or_zero((r, c, entries) in coo_matrix()) {
+#[test]
+fn row_normalize_rows_sum_to_one_or_zero() {
+    for seed in 0..CASES {
+        let (r, c, entries) = coo_matrix(seed);
         let positive: Vec<CooEntry> = entries
             .into_iter()
-            .map(|e| CooEntry { val: e.val.abs() + 0.1, ..e })
+            .map(|e| CooEntry {
+                val: e.val.abs() + 0.1,
+                ..e
+            })
             .collect();
         let m = CsrMatrix::from_coo(r, c, positive);
         let n = row_normalize(&m);
         for s in n.row_sums() {
-            prop_assert!((s - 1.0).abs() < 1e-4 || s == 0.0);
+            assert!(
+                (s - 1.0).abs() < 1e-4 || s == 0.0,
+                "seed {seed}: row sum {s}"
+            );
         }
     }
+}
 
-    #[test]
-    fn integer_spmm_matches_float_spmm((r, c, entries) in coo_matrix(), fdim in 1usize..4) {
+#[test]
+fn integer_spmm_matches_float_spmm() {
+    for seed in 0..CASES {
+        let (r, c, entries) = coo_matrix(seed);
+        let fdim = 1 + (seed as usize % 3);
         // Integer-valued matrices: both paths must agree exactly.
         let int_entries: Vec<CooEntry> = entries
             .into_iter()
-            .map(|e| CooEntry { val: e.val.round(), ..e })
+            .map(|e| CooEntry {
+                val: e.val.round(),
+                ..e
+            })
             .filter(|e| e.val != 0.0)
             .collect();
         let m = CsrMatrix::from_coo(r, c, int_entries);
@@ -110,7 +179,7 @@ proptest! {
         let yi = spmm_int(&q, &xi, fdim);
         let yf = m.spmm(&xf, fdim);
         for (a, b) in yi.iter().zip(yf.iter()) {
-            prop_assert_eq!(*a as f32, *b);
+            assert_eq!(*a as f32, *b, "seed {seed}");
         }
     }
 }

@@ -23,7 +23,11 @@ pub fn numeric_grad(mut f: impl FnMut(&Matrix) -> f32, x: &Matrix, eps: f32) -> 
 /// Asserts that `analytic` matches `numeric` within a combined
 /// absolute/relative tolerance, with a readable failure message.
 pub fn assert_close(analytic: &Matrix, numeric: &Matrix, tol: f32, what: &str) {
-    assert_eq!(analytic.shape(), numeric.shape(), "{what}: gradient shape mismatch");
+    assert_eq!(
+        analytic.shape(),
+        numeric.shape(),
+        "{what}: gradient shape mismatch"
+    );
     for i in 0..analytic.numel() {
         let a = analytic.data()[i];
         let n = numeric.data()[i];

@@ -16,13 +16,24 @@
 //! * [`Rng`] — a self-contained seeded xoshiro256** generator so every
 //!   experiment is reproducible;
 //! * gradient-checking helpers ([`numeric_grad`], [`assert_close`]) used
-//!   across the workspace test suites.
+//!   across the workspace test suites;
+//! * [`parallel`] — the scoped-thread runtime (re-exported from
+//!   `mixq-parallel`) that the matmul/SpMM/element-wise kernels partition
+//!   their output rows over. Configure with the `MIXQ_THREADS` environment
+//!   variable or [`set_num_threads`]; results are bit-identical to the
+//!   serial kernels at any thread count.
 
 mod gradcheck;
 mod matrix;
 mod quant;
 mod rng;
 mod tape;
+
+/// The scoped-thread parallel runtime shared by every compute kernel in the
+/// workspace (it lives in the `mixq-parallel` crate because `mixq-sparse`
+/// sits below this crate in the dependency graph and uses it too).
+pub use mixq_parallel as parallel;
+pub use mixq_parallel::{num_threads, set_num_threads};
 
 pub use gradcheck::{assert_close, numeric_grad};
 pub use matrix::Matrix;

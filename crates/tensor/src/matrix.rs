@@ -1,5 +1,14 @@
 //! Dense row-major `f32` matrices and the BLAS-free kernels used by the
 //! autograd engine.
+//!
+//! The matmul kernels partition their *output* rows across the scoped-thread
+//! runtime in `mixq-parallel`: each thread writes a disjoint row range and
+//! the per-element accumulation order equals the serial loop, so results are
+//! bit-identical at any thread count (`MIXQ_THREADS` /
+//! [`mixq_parallel::set_num_threads`]). Small outputs stay on the serial
+//! path.
+
+use mixq_parallel::{par_map_slice, par_row_chunks_mut, par_zip_slice};
 
 /// A dense row-major matrix of `f32`.
 ///
@@ -22,7 +31,11 @@ pub struct Matrix {
 
 impl Matrix {
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     pub fn ones(rows: usize, cols: usize) -> Self {
@@ -30,12 +43,20 @@ impl Matrix {
     }
 
     pub fn filled(rows: usize, cols: usize, v: f32) -> Self {
-        Self { rows, cols, data: vec![v; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
     }
 
     /// A `1×1` matrix holding a single scalar.
     pub fn scalar(v: f32) -> Self {
-        Self { rows: 1, cols: 1, data: vec![v] }
+        Self {
+            rows: 1,
+            cols: 1,
+            data: vec![v],
+        }
     }
 
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
@@ -106,61 +127,74 @@ impl Matrix {
     }
 
     /// Matrix product `C = A · B` (ikj loop order; the inner loop is
-    /// contiguous over both `B` and `C` so it auto-vectorizes).
+    /// contiguous over both `B` and `C` so it auto-vectorizes). Output rows
+    /// are partitioned across threads; per-row accumulation order matches
+    /// the serial loop exactly.
     pub fn matmul(&self, b: &Matrix) -> Matrix {
         assert_eq!(self.cols, b.rows, "matmul: inner dimensions differ");
         let mut c = Matrix::zeros(self.rows, b.cols);
-        for i in 0..self.rows {
-            let crow = &mut c.data[i * b.cols..(i + 1) * b.cols];
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &b.data[k * b.cols..(k + 1) * b.cols];
-                for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
-                    *cv += a * bv;
+        par_row_chunks_mut(&mut c.data, self.rows, b.cols, |start, chunk| {
+            for (di, crow) in chunk.chunks_mut(b.cols).enumerate() {
+                let i = start + di;
+                for k in 0..self.cols {
+                    let a = self.data[i * self.cols + k];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let brow = &b.data[k * b.cols..(k + 1) * b.cols];
+                    for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                        *cv += a * bv;
+                    }
                 }
             }
-        }
+        });
         c
     }
 
-    /// `C = Aᵀ · B` without materializing the transpose.
+    /// `C = Aᵀ · B` without materializing the transpose. Output rows (the
+    /// `k` index over `A`'s columns) are partitioned across threads; within
+    /// each output row the reduction over `i` runs in serial order, so the
+    /// result is bit-identical to the single-threaded kernel.
     pub fn matmul_at_b(&self, b: &Matrix) -> Matrix {
         assert_eq!(self.rows, b.rows, "matmul_at_b: row counts differ");
         let mut c = Matrix::zeros(self.cols, b.cols);
-        for i in 0..self.rows {
-            let brow = &b.data[i * b.cols..(i + 1) * b.cols];
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let crow = &mut c.data[k * b.cols..(k + 1) * b.cols];
-                for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
-                    *cv += a * bv;
+        par_row_chunks_mut(&mut c.data, self.cols, b.cols, |start, chunk| {
+            let k_hi = start + chunk.len() / b.cols;
+            for i in 0..self.rows {
+                let brow = &b.data[i * b.cols..(i + 1) * b.cols];
+                for k in start..k_hi {
+                    let a = self.data[i * self.cols + k];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let crow = &mut chunk[(k - start) * b.cols..(k - start + 1) * b.cols];
+                    for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                        *cv += a * bv;
+                    }
                 }
             }
-        }
+        });
         c
     }
 
-    /// `C = A · Bᵀ` without materializing the transpose.
+    /// `C = A · Bᵀ` without materializing the transpose. Each output element
+    /// is an independent dot product; rows are partitioned across threads.
     pub fn matmul_a_bt(&self, b: &Matrix) -> Matrix {
         assert_eq!(self.cols, b.cols, "matmul_a_bt: col counts differ");
         let mut c = Matrix::zeros(self.rows, b.rows);
-        for i in 0..self.rows {
-            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..b.rows {
-                let brow = &b.data[j * b.cols..(j + 1) * b.cols];
-                let mut acc = 0f32;
-                for (&av, &bv) in arow.iter().zip(brow.iter()) {
-                    acc += av * bv;
+        par_row_chunks_mut(&mut c.data, self.rows, b.rows, |start, chunk| {
+            for (di, crow) in chunk.chunks_mut(b.rows).enumerate() {
+                let arow = &self.data[(start + di) * self.cols..(start + di + 1) * self.cols];
+                for (j, cv) in crow.iter_mut().enumerate() {
+                    let brow = &b.data[j * b.cols..(j + 1) * b.cols];
+                    let mut acc = 0f32;
+                    for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                        acc += av * bv;
+                    }
+                    *cv = acc;
                 }
-                c.data[i * b.rows + j] = acc;
             }
-        }
+        });
         c
     }
 
@@ -192,6 +226,32 @@ impl Matrix {
             rows: self.rows,
             cols: self.cols,
             data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Like [`Matrix::map`] but parallelized over contiguous chunks for
+    /// large matrices. Requires `f: Sync` (pure element-wise kernels such as
+    /// quantize/dequantize); results are bit-identical to `map`.
+    pub fn par_map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
+        let mut data = vec![0f32; self.data.len()];
+        par_map_slice(&self.data, &mut data, f);
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Like [`Matrix::zip`] but parallelized over contiguous chunks for
+    /// large matrices; bit-identical to `zip`.
+    pub fn par_zip(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32 + Sync) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "par_zip: shape mismatch");
+        let mut data = vec![0f32; self.data.len()];
+        par_zip_slice(&self.data, &other.data, &mut data, f);
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
         }
     }
 
@@ -236,7 +296,11 @@ impl Matrix {
     /// Frobenius inner product `Σ_{ij} A_{ij} B_{ij}`.
     pub fn dot(&self, other: &Matrix) -> f32 {
         assert_eq!(self.shape(), other.shape(), "dot: shape mismatch");
-        self.data.iter().zip(other.data.iter()).map(|(&a, &b)| a * b).sum()
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| a * b)
+            .sum()
     }
 
     /// Max absolute element-wise difference, for approximate comparisons.

@@ -49,9 +49,19 @@ impl QuantParams {
         if max - min < 1e-12 {
             max = min + 1e-6;
         }
-        let scale = (max - min) / (qmax - qmin) as f32;
-        let zero_point = (qmin as f32 - min / scale).round().clamp(qmin as f32, qmax as f32) as i32;
-        Self { scale, zero_point, qmin, qmax, bits }
+        // Widen before subtracting: for bits = 32, `qmax - qmin` overflows
+        // i32 (i32::MAX − i32::MIN), panicking in debug builds.
+        let scale = ((max as f64 - min as f64) / (qmax as i64 - qmin as i64) as f64) as f32;
+        let zero_point = (qmin as f32 - min / scale)
+            .round()
+            .clamp(qmin as f32, qmax as f32) as i32;
+        Self {
+            scale,
+            zero_point,
+            qmin,
+            qmax,
+            bits,
+        }
     }
 
     /// Builds symmetric parameters (`Z = 0`) covering `[−a, a]` where
@@ -60,14 +70,26 @@ impl QuantParams {
         let (qmin, qmax) = Self::int_range(bits);
         let a = min.abs().max(max.abs()).max(1e-8);
         let scale = a / qmax as f32;
-        Self { scale, zero_point: 0, qmin, qmax, bits }
+        Self {
+            scale,
+            zero_point: 0,
+            qmin,
+            qmax,
+            bits,
+        }
     }
 
     /// Identity-like parameters used when a component is left unquantized
     /// (`S = 1`, `Z = 0`), as recommended for inter-layer outputs (§4).
     pub fn identity(bits: u8) -> Self {
         let (qmin, qmax) = Self::int_range(bits);
-        Self { scale: 1.0, zero_point: 0, qmin, qmax, bits }
+        Self {
+            scale: 1.0,
+            zero_point: 0,
+            qmin,
+            qmax,
+            bits,
+        }
     }
 
     /// `Q(x)`: quantize one real value to its integer code.
@@ -80,7 +102,8 @@ impl QuantParams {
     /// `Q⁻¹(q)`: map an integer code back to its real value.
     #[inline]
     pub fn dequantize(&self, q: i32) -> f32 {
-        (q - self.zero_point) as f32 * self.scale
+        // Widen: `q - Z` overflows i32 when bits = 32 and Z sits near qmin.
+        (q as i64 - self.zero_point as i64) as f32 * self.scale
     }
 
     /// Fake quantization `Q⁻¹(Q(x))` used during QAT.
@@ -161,5 +184,45 @@ mod tests {
         let qp = QuantParams::from_min_max(0.0, 0.0, 8);
         assert!(qp.scale > 0.0);
         assert!(qp.fake(0.0).is_finite());
+    }
+
+    /// Regression: `from_min_max` used `(qmax - qmin)` in i32, which
+    /// overflows (and panics in debug builds) for bits = 32. Every
+    /// supported extreme bit-width must build finite, positive-scale
+    /// parameters and round-trip in-range values.
+    #[test]
+    fn from_min_max_all_bit_widths_including_32() {
+        for bits in [2u8, 8, 16, 32] {
+            for (lo, hi) in [(-1.0f32, 1.0f32), (-0.5, 2.5), (0.0, 3.0), (-4.0, 0.0)] {
+                let qp = QuantParams::from_min_max(lo, hi, bits);
+                assert!(
+                    qp.scale > 0.0 && qp.scale.is_finite(),
+                    "bits={bits} range=({lo},{hi}) scale={}",
+                    qp.scale
+                );
+                assert!(
+                    qp.qmin <= qp.zero_point && qp.zero_point <= qp.qmax,
+                    "bits={bits}"
+                );
+                assert_eq!(qp.fake(0.0), 0.0, "bits={bits}: zero must stay exact");
+                // In-range values round-trip within one step (f32 rounding
+                // of huge codes costs a few ULP at 32 bits, hence the 2×).
+                // The representable range is [min(lo,0), max(hi,0)]; pick a
+                // point a quarter of the way in so clipping never triggers.
+                let (rlo, rhi) = (lo.min(0.0), hi.max(0.0));
+                let x = rlo + 0.25 * (rhi - rlo);
+                assert!(
+                    (qp.fake(x) - x).abs() <= 2.0 * qp.scale.max(f32::EPSILON * x.abs()),
+                    "bits={bits} x={x} fake={}",
+                    qp.fake(x)
+                );
+            }
+            // Symmetric and identity constructors share int_range(32).
+            let sym = QuantParams::symmetric(-3.0, 2.0, bits);
+            assert_eq!(sym.zero_point, 0);
+            assert!(sym.scale > 0.0 && sym.scale.is_finite());
+            let id = QuantParams::identity(bits);
+            assert_eq!(id.scale, 1.0);
+        }
     }
 }

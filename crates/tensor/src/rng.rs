@@ -23,7 +23,9 @@ impl Rng {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
             z ^ (z >> 31)
         };
-        Self { s: [next(), next(), next(), next()] }
+        Self {
+            s: [next(), next(), next(), next()],
+        }
     }
 
     /// Derives an independent generator, e.g. one per fold or per run.
@@ -136,7 +138,10 @@ mod tests {
             sum += u;
         }
         let mean = sum / 10_000.0;
-        assert!((mean - 0.5).abs() < 0.02, "uniform mean {mean} far from 0.5");
+        assert!(
+            (mean - 0.5).abs() < 0.02,
+            "uniform mean {mean} far from 0.5"
+        );
     }
 
     #[test]

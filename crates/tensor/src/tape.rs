@@ -18,6 +18,12 @@
 //! mixture over per-bit-width quantizers whose mixing logits α are trained
 //! by backpropagation. [`Tape::bit_penalty`] is the differentiable bit-cost
 //! `C(T)` of Eq. 8.
+//!
+//! The matmul/spmm forward *and* backward rules run on the row-partitioned
+//! parallel kernels ([`Matrix::matmul_a_bt`]/[`Matrix::matmul_at_b`] for
+//! `∂matmul`, the transpose SpMM for `∂spmm`), and the fake-quant ops use
+//! the parallel element-wise maps — gradients stay bit-identical to the
+//! serial engine at any thread count.
 
 use std::sync::Arc;
 
@@ -61,23 +67,61 @@ pub struct BatchNormOut {
 enum Op {
     Leaf,
     MatMul(Var, Var),
-    Spmm { pair: Arc<SpPair>, x: Var },
+    Spmm {
+        pair: Arc<SpPair>,
+        x: Var,
+    },
     Add(Var, Var),
     Sub(Var, Var),
     Mul(Var, Var),
-    AddBias { x: Var, bias: Var },
-    Scale { x: Var, c: f32 },
-    MulScalarVar { x: Var, s: Var },
-    AffineCols { x: Var, scale: Box<[f32]> },
+    AddBias {
+        x: Var,
+        bias: Var,
+    },
+    Scale {
+        x: Var,
+        c: f32,
+    },
+    MulScalarVar {
+        x: Var,
+        s: Var,
+    },
+    AffineCols {
+        x: Var,
+        scale: Box<[f32]>,
+    },
     Exp(Var),
     Relu(Var),
-    LeakyRelu { x: Var, slope: f32 },
-    Dropout { x: Var, mask: Box<[f32]> },
+    LeakyRelu {
+        x: Var,
+        slope: f32,
+    },
+    Dropout {
+        x: Var,
+        mask: Box<[f32]>,
+    },
     LogSoftmaxRows(Var),
-    NllMasked { logp: Var, targets: Box<[u32]>, rows: Box<[u32]> },
-    BceWithLogits { logits: Var, targets: Box<Matrix>, rows: Box<[u32]> },
-    BatchNorm { x: Var, gamma: Var, beta: Var, xhat: Box<Matrix>, inv_std: Box<[f32]> },
-    GlobalMaxPool { x: Var, argmax: Box<[u32]> },
+    NllMasked {
+        logp: Var,
+        targets: Box<[u32]>,
+        rows: Box<[u32]>,
+    },
+    BceWithLogits {
+        logits: Var,
+        targets: Box<Matrix>,
+        rows: Box<[u32]>,
+    },
+    BatchNorm {
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        xhat: Box<Matrix>,
+        inv_std: Box<[f32]>,
+    },
+    GlobalMaxPool {
+        x: Var,
+        argmax: Box<[u32]>,
+    },
     GatAggregate {
         h: Var,
         src: Var,
@@ -95,11 +139,32 @@ enum Op {
     },
     SumAll(Var),
     MeanAll(Var),
-    FakeQuant { x: Var, qp: QuantParams },
-    FakeQuantLsq { x: Var, scale: Var, qmin: i32, qmax: i32, grad_scale: f32 },
-    FakeQuantRows { x: Var, qps: Box<[QuantParams]> },
-    RelaxedFakeQuant { x: Var, alphas: Var, qps: Box<[QuantParams]>, quants: Box<[Matrix]> },
-    BitPenalty { alphas: Var, bits: Box<[f32]>, numel: f32 },
+    FakeQuant {
+        x: Var,
+        qp: QuantParams,
+    },
+    FakeQuantLsq {
+        x: Var,
+        scale: Var,
+        qmin: i32,
+        qmax: i32,
+        grad_scale: f32,
+    },
+    FakeQuantRows {
+        x: Var,
+        qps: Box<[QuantParams]>,
+    },
+    RelaxedFakeQuant {
+        x: Var,
+        alphas: Var,
+        qps: Box<[QuantParams]>,
+        quants: Box<[Matrix]>,
+    },
+    BitPenalty {
+        alphas: Var,
+        bits: Box<[f32]>,
+        numel: f32,
+    },
 }
 
 impl Op {
@@ -171,7 +236,12 @@ pub fn softmax_slice(xs: &[f32]) -> Vec<f32> {
 
 impl Tape {
     pub fn new() -> Self {
-        Self { values: Vec::new(), grads: Vec::new(), ops: Vec::new(), requires: Vec::new() }
+        Self {
+            values: Vec::new(),
+            grads: Vec::new(),
+            ops: Vec::new(),
+            requires: Vec::new(),
+        }
     }
 
     fn push(&mut self, value: Matrix, op: Op, requires: bool) -> Var {
@@ -228,7 +298,14 @@ impl Tape {
         let y = pair.a.spmm(xm.data(), xm.cols());
         let v = Matrix::from_vec(pair.a.rows(), xm.cols(), y);
         let r = self.req(x);
-        self.push(v, Op::Spmm { pair: Arc::clone(pair), x }, r)
+        self.push(
+            v,
+            Op::Spmm {
+                pair: Arc::clone(pair),
+                x,
+            },
+            r,
+        )
     }
 
     pub fn add(&mut self, a: Var, b: Var) -> Var {
@@ -294,7 +371,14 @@ impl Tape {
             }
         }
         let r = self.req(x);
-        self.push(v, Op::AffineCols { x, scale: scale.into() }, r)
+        self.push(
+            v,
+            Op::AffineCols {
+                x,
+                scale: scale.into(),
+            },
+            r,
+        )
     }
 
     /// Element-wise exponential.
@@ -326,7 +410,13 @@ impl Tape {
         let keep = 1.0 - p;
         let xm = &self.values[x.0];
         let mask: Vec<f32> = (0..xm.numel())
-            .map(|_| if rng.bernoulli(keep as f64) { 1.0 / keep } else { 0.0 })
+            .map(|_| {
+                if rng.bernoulli(keep as f64) {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
             .collect();
         self.dropout_with_mask(x, mask)
     }
@@ -336,11 +426,22 @@ impl Tape {
     pub fn dropout_with_mask(&mut self, x: Var, mask: Vec<f32>) -> Var {
         let xm = &self.values[x.0];
         assert_eq!(mask.len(), xm.numel());
-        let data: Vec<f32> =
-            xm.data().iter().zip(mask.iter()).map(|(&v, &m)| v * m).collect();
+        let data: Vec<f32> = xm
+            .data()
+            .iter()
+            .zip(mask.iter())
+            .map(|(&v, &m)| v * m)
+            .collect();
         let v = Matrix::from_vec(xm.rows(), xm.cols(), data);
         let r = self.req(x);
-        self.push(v, Op::Dropout { x, mask: mask.into() }, r)
+        self.push(
+            v,
+            Op::Dropout {
+                x,
+                mask: mask.into(),
+            },
+            r,
+        )
     }
 
     /// Row-wise `log_softmax`.
@@ -373,7 +474,15 @@ impl Tape {
         let rows: Box<[u32]> = rows.iter().map(|&r| r as u32).collect();
         let targets: Box<[u32]> = targets.iter().map(|&t| t as u32).collect();
         let r = self.req(logp);
-        self.push(Matrix::scalar(loss), Op::NllMasked { logp, targets, rows }, r)
+        self.push(
+            Matrix::scalar(loss),
+            Op::NllMasked {
+                logp,
+                targets,
+                rows,
+            },
+            r,
+        )
     }
 
     /// Binary cross-entropy with logits over a subset of rows (multi-label
@@ -398,7 +507,11 @@ impl Tape {
         let r = self.req(logits);
         self.push(
             Matrix::scalar(loss),
-            Op::BceWithLogits { logits, targets: Box::new(targets.clone()), rows },
+            Op::BceWithLogits {
+                logits,
+                targets: Box::new(targets.clone()),
+                rows,
+            },
             r,
         )
     }
@@ -449,7 +562,13 @@ impl Tape {
         let r = self.req(x) || self.req(gamma) || self.req(beta);
         let yv = self.push(
             y,
-            Op::BatchNorm { x, gamma, beta, xhat: Box::new(xhat), inv_std: inv_std.into() },
+            Op::BatchNorm {
+                x,
+                gamma,
+                beta,
+                xhat: Box::new(xhat),
+                inv_std: inv_std.into(),
+            },
             r,
         );
         BatchNormOut { y: yv, mean, var }
@@ -461,7 +580,11 @@ impl Tape {
         let xm = &self.values[x.0];
         let g = offsets.len() - 1;
         let c = xm.cols();
-        assert_eq!(*offsets.last().unwrap(), xm.rows(), "offsets must cover all rows");
+        assert_eq!(
+            *offsets.last().unwrap(),
+            xm.rows(),
+            "offsets must cover all rows"
+        );
         let mut y = Matrix::filled(g, c, f32::NEG_INFINITY);
         let mut argmax = vec![0u32; g * c];
         for gi in 0..g {
@@ -476,7 +599,14 @@ impl Tape {
             }
         }
         let r = self.req(x);
-        self.push(y, Op::GlobalMaxPool { x, argmax: argmax.into() }, r)
+        self.push(
+            y,
+            Op::GlobalMaxPool {
+                x,
+                argmax: argmax.into(),
+            },
+            r,
+        )
     }
 
     /// Graph attention aggregation (GAT, Veličković et al.):
@@ -604,7 +734,13 @@ impl Tape {
         let r = self.req(q) || self.req(k) || self.req(v);
         self.push(
             y,
-            Op::DotAttnAggregate { q, k, v, adj: Arc::clone(adj), alphas: alphas.into() },
+            Op::DotAttnAggregate {
+                q,
+                k,
+                v,
+                adj: Arc::clone(adj),
+                alphas: alphas.into(),
+            },
             r,
         )
     }
@@ -626,7 +762,7 @@ impl Tape {
     /// estimator: gradient passes unchanged where `x` is inside the
     /// representable range and is zeroed where the quantizer clips.
     pub fn fake_quant(&mut self, x: Var, qp: QuantParams) -> Var {
-        let v = self.values[x.0].map(|e| qp.fake(e));
+        let v = self.values[x.0].par_map(|e| qp.fake(e));
         let r = self.req(x);
         self.push(v, Op::FakeQuant { x, qp }, r)
     }
@@ -639,16 +775,30 @@ impl Tape {
     /// paper's "S and Z tuned during training via gradient-based
     /// optimization" literally.
     pub fn fake_quant_lsq(&mut self, x: Var, scale: Var, qmin: i32, qmax: i32) -> Var {
-        assert_eq!(self.values[scale.0].shape(), (1, 1), "LSQ scale must be 1×1");
+        assert_eq!(
+            self.values[scale.0].shape(),
+            (1, 1),
+            "LSQ scale must be 1×1"
+        );
         let s = self.values[scale.0].item().max(1e-6);
         let xm = &self.values[x.0];
         let grad_scale = 1.0 / ((xm.numel() as f32 * qmax as f32).sqrt());
-        let v = xm.map(|e| {
+        let v = xm.par_map(|e| {
             let q = (e / s).round_ties_even().clamp(qmin as f32, qmax as f32);
             q * s
         });
         let r = self.req(x) || self.req(scale);
-        self.push(v, Op::FakeQuantLsq { x, scale, qmin, qmax, grad_scale }, r)
+        self.push(
+            v,
+            Op::FakeQuantLsq {
+                x,
+                scale,
+                qmin,
+                qmax,
+                grad_scale,
+            },
+            r,
+        )
     }
 
     /// Per-row fake quantization: row `r` of `x` is quantized with
@@ -664,7 +814,14 @@ impl Tape {
             }
         }
         let r = self.req(x);
-        self.push(v, Op::FakeQuantRows { x, qps: qps.to_vec().into() }, r)
+        self.push(
+            v,
+            Op::FakeQuantRows {
+                x,
+                qps: qps.to_vec().into(),
+            },
+            r,
+        )
     }
 
     /// The paper's relaxed quantizer (Eq. 6):
@@ -680,7 +837,7 @@ impl Tape {
         assert_eq!(am.cols(), qps.len(), "one alpha per quantizer");
         let w = softmax_slice(am.data());
         let xm = &self.values[x.0];
-        let quants: Vec<Matrix> = qps.iter().map(|qp| xm.map(|e| qp.fake(e))).collect();
+        let quants: Vec<Matrix> = qps.iter().map(|qp| xm.par_map(|e| qp.fake(e))).collect();
         let mut y = Matrix::zeros(xm.rows(), xm.cols());
         for (wi, q) in w.iter().zip(quants.iter()) {
             for (o, &qv) in y.data_mut().iter_mut().zip(q.data()) {
@@ -711,7 +868,15 @@ impl Tape {
         let numel = numel as f32;
         let v = Matrix::scalar(avg * numel / (1024.0 * 8.0));
         let r = self.req(alphas);
-        self.push(v, Op::BitPenalty { alphas, bits: bits.to_vec().into(), numel }, r)
+        self.push(
+            v,
+            Op::BitPenalty {
+                alphas,
+                bits: bits.to_vec().into(),
+                numel,
+            },
+            r,
+        )
     }
 
     /// Histogram of recorded op kinds — cheap introspection for debugging
@@ -746,11 +911,17 @@ impl Tape {
     /// nodes remain available from [`Tape::grad`]; intermediate gradients
     /// are freed as soon as they have been propagated.
     pub fn backward(&mut self, loss: Var) {
-        assert_eq!(self.values[loss.0].shape(), (1, 1), "backward needs a scalar loss");
+        assert_eq!(
+            self.values[loss.0].shape(),
+            (1, 1),
+            "backward needs a scalar loss"
+        );
         self.grads[loss.0] = Some(Matrix::scalar(1.0));
 
         for i in (0..=loss.0).rev() {
-            let Some(g) = self.grads[i].take() else { continue };
+            let Some(g) = self.grads[i].take() else {
+                continue;
+            };
             let op = std::mem::replace(&mut self.ops[i], Op::Leaf);
             match &op {
                 Op::Leaf => {}
@@ -847,8 +1018,10 @@ impl Tape {
                 Op::LeakyRelu { x, slope } => {
                     if self.req(*x) {
                         let s = *slope;
-                        let gx =
-                            g.zip(&self.values[x.0], |gv, xv| if xv > 0.0 { gv } else { s * gv });
+                        let gx = g.zip(
+                            &self.values[x.0],
+                            |gv, xv| if xv > 0.0 { gv } else { s * gv },
+                        );
                         self.acc(*x, gx);
                     }
                 }
@@ -874,7 +1047,11 @@ impl Tape {
                         self.acc(*x, gx);
                     }
                 }
-                Op::NllMasked { logp, targets, rows } => {
+                Op::NllMasked {
+                    logp,
+                    targets,
+                    rows,
+                } => {
                     if self.req(*logp) {
                         let go = g.item() / rows.len() as f32;
                         let lm = &self.values[logp.0];
@@ -886,7 +1063,11 @@ impl Tape {
                         self.acc(*logp, gx);
                     }
                 }
-                Op::BceWithLogits { logits, targets, rows } => {
+                Op::BceWithLogits {
+                    logits,
+                    targets,
+                    rows,
+                } => {
                     if self.req(*logits) {
                         let lm = &self.values[logits.0];
                         let cols = lm.cols();
@@ -903,7 +1084,13 @@ impl Tape {
                         self.acc(*logits, gx);
                     }
                 }
-                Op::BatchNorm { x, gamma, beta, xhat, inv_std } => {
+                Op::BatchNorm {
+                    x,
+                    gamma,
+                    beta,
+                    xhat,
+                    inv_std,
+                } => {
                     let (n, c) = g.shape();
                     let nf = n as f32;
                     // Per-column reductions of dy and dy⊙x̂.
@@ -951,7 +1138,14 @@ impl Tape {
                         self.acc(*x, gx);
                     }
                 }
-                Op::GatAggregate { h, src, dst, adj, alphas, slope } => {
+                Op::GatAggregate {
+                    h,
+                    src,
+                    dst,
+                    adj,
+                    alphas,
+                    slope,
+                } => {
                     let hm = &self.values[h.0];
                     let (n, fdim) = hm.shape();
                     let sv = self.values[src.0].data();
@@ -1004,7 +1198,13 @@ impl Tape {
                         self.acc(*dst, gd);
                     }
                 }
-                Op::DotAttnAggregate { q, k, v, adj, alphas } => {
+                Op::DotAttnAggregate {
+                    q,
+                    k,
+                    v,
+                    adj,
+                    alphas,
+                } => {
                     let (n, d) = self.values[q.0].shape();
                     let scale = 1.0 / (d as f32).sqrt();
                     let qm = &self.values[q.0];
@@ -1025,8 +1225,9 @@ impl Tape {
                         for (idx, (j, _)) in adj.row(i).enumerate() {
                             let a = alphas[b + idx];
                             let mut dot = 0f32;
-                            for (&gvl, (&vv, o)) in
-                                gi.iter().zip(vm.row_slice(j).iter().zip(gv.row_slice_mut(j)))
+                            for (&gvl, (&vv, o)) in gi
+                                .iter()
+                                .zip(vm.row_slice(j).iter().zip(gv.row_slice_mut(j)))
                             {
                                 dot += gvl * vv;
                                 *o += a * gvl;
@@ -1075,15 +1276,24 @@ impl Tape {
                 Op::FakeQuant { x, qp } => {
                     if self.req(*x) {
                         let gx =
-                            g.zip(&self.values[x.0], |gv, xv| if qp.in_range(xv) { gv } else { 0.0 });
+                            g.par_zip(
+                                &self.values[x.0],
+                                |gv, xv| if qp.in_range(xv) { gv } else { 0.0 },
+                            );
                         self.acc(*x, gx);
                     }
                 }
-                Op::FakeQuantLsq { x, scale, qmin, qmax, grad_scale } => {
+                Op::FakeQuantLsq {
+                    x,
+                    scale,
+                    qmin,
+                    qmax,
+                    grad_scale,
+                } => {
                     let s = self.values[scale.0].item().max(1e-6);
                     let (lo, hi) = (*qmin as f32, *qmax as f32);
                     let gx = if self.req(*x) {
-                        Some(g.zip(&self.values[x.0], |gv, xv| {
+                        Some(g.par_zip(&self.values[x.0], |gv, xv| {
                             let v = xv / s;
                             if v >= lo && v <= hi {
                                 gv
@@ -1124,9 +1334,7 @@ impl Tape {
                         let mut gx = g.clone();
                         for r in 0..gx.rows() {
                             let qp = qps[r];
-                            for (e, &xv) in
-                                gx.row_slice_mut(r).iter_mut().zip(xm.row_slice(r))
-                            {
+                            for (e, &xv) in gx.row_slice_mut(r).iter_mut().zip(xm.row_slice(r)) {
                                 if !qp.in_range(xv) {
                                     *e = 0.0;
                                 }
@@ -1135,7 +1343,12 @@ impl Tape {
                         self.acc(*x, gx);
                     }
                 }
-                Op::RelaxedFakeQuant { x, alphas, qps, quants } => {
+                Op::RelaxedFakeQuant {
+                    x,
+                    alphas,
+                    qps,
+                    quants,
+                } => {
                     let w = softmax_slice(self.values[alphas.0].data());
                     if self.req(*x) {
                         let xm = &self.values[x.0];
@@ -1155,18 +1368,28 @@ impl Tape {
                         // t_i = <Q_i(x), dy>; dα_j = w_j (t_j − Σ_i w_i t_i).
                         let t: Vec<f32> = quants.iter().map(|q| q.dot(&g)).collect();
                         let mixed: f32 = w.iter().zip(t.iter()).map(|(&wi, &ti)| wi * ti).sum();
-                        let ga: Vec<f32> =
-                            w.iter().zip(t.iter()).map(|(&wj, &tj)| wj * (tj - mixed)).collect();
+                        let ga: Vec<f32> = w
+                            .iter()
+                            .zip(t.iter())
+                            .map(|(&wj, &tj)| wj * (tj - mixed))
+                            .collect();
                         self.acc(*alphas, Matrix::from_vec(1, ga.len(), ga));
                     }
                 }
-                Op::BitPenalty { alphas, bits, numel } => {
+                Op::BitPenalty {
+                    alphas,
+                    bits,
+                    numel,
+                } => {
                     if self.req(*alphas) {
                         let w = softmax_slice(self.values[alphas.0].data());
                         let avg: f32 = w.iter().zip(bits.iter()).map(|(&wi, &bi)| wi * bi).sum();
                         let go = g.item() * numel / (1024.0 * 8.0);
-                        let ga: Vec<f32> =
-                            w.iter().zip(bits.iter()).map(|(&wj, &bj)| go * wj * (bj - avg)).collect();
+                        let ga: Vec<f32> = w
+                            .iter()
+                            .zip(bits.iter())
+                            .map(|(&wj, &bj)| go * wj * (bj - avg))
+                            .collect();
                         self.acc(*alphas, Matrix::from_vec(1, ga.len(), ga));
                     }
                 }

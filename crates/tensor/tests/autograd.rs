@@ -67,10 +67,26 @@ fn grad_spmm() {
         3,
         3,
         vec![
-            CooEntry { row: 0, col: 1, val: 0.5 },
-            CooEntry { row: 1, col: 0, val: -1.5 },
-            CooEntry { row: 1, col: 2, val: 2.0 },
-            CooEntry { row: 2, col: 2, val: 1.0 },
+            CooEntry {
+                row: 0,
+                col: 1,
+                val: 0.5,
+            },
+            CooEntry {
+                row: 1,
+                col: 0,
+                val: -1.5,
+            },
+            CooEntry {
+                row: 1,
+                col: 2,
+                val: 2.0,
+            },
+            CooEntry {
+                row: 2,
+                col: 2,
+                val: 1.0,
+            },
         ],
     );
     let pair = SpPair::new(adj);
@@ -211,7 +227,9 @@ fn grad_activations() {
 fn grad_dropout_with_mask() {
     let mut rng = Rng::seed_from_u64(8);
     let x = rand_matrix(&mut rng, 3, 4);
-    let mask: Vec<f32> = (0..12).map(|i| if i % 3 == 0 { 0.0 } else { 2.0 }).collect();
+    let mask: Vec<f32> = (0..12)
+        .map(|i| if i % 3 == 0 { 0.0 } else { 2.0 })
+        .collect();
     check_grad(
         &x,
         move |t, xv| {
@@ -333,7 +351,10 @@ fn batch_norm_output_is_standardized() {
         assert!(mean.abs() < 1e-4);
         assert!((var - 1.0).abs() < 1e-3);
     }
-    assert!((out.mean[0] - 1.0).abs() < 0.5, "batch mean should be near 1");
+    assert!(
+        (out.mean[0] - 1.0).abs() < 0.5,
+        "batch mean should be near 1"
+    );
 }
 
 #[test]
@@ -409,8 +430,10 @@ fn fake_quant_forward_matches_params() {
 fn grad_relaxed_fake_quant_wrt_alphas() {
     let mut rng = Rng::seed_from_u64(18);
     let x = rand_matrix(&mut rng, 4, 3);
-    let qps: Vec<QuantParams> =
-        [2u8, 4, 8].iter().map(|&b| QuantParams::from_min_max(-3.0, 3.0, b)).collect();
+    let qps: Vec<QuantParams> = [2u8, 4, 8]
+        .iter()
+        .map(|&b| QuantParams::from_min_max(-3.0, 3.0, b))
+        .collect();
     let alphas = Matrix::from_vec(1, 3, vec![0.3, -0.2, 0.5]);
     check_grad(
         &alphas,
@@ -428,8 +451,10 @@ fn grad_relaxed_fake_quant_wrt_alphas() {
 fn relaxed_fake_quant_is_convex_combination() {
     let mut rng = Rng::seed_from_u64(19);
     let x = rand_matrix(&mut rng, 5, 2);
-    let qps: Vec<QuantParams> =
-        [2u8, 8].iter().map(|&b| QuantParams::from_min_max(-3.0, 3.0, b)).collect();
+    let qps: Vec<QuantParams> = [2u8, 8]
+        .iter()
+        .map(|&b| QuantParams::from_min_max(-3.0, 3.0, b))
+        .collect();
     // Extreme alpha ⇒ output ≈ single quantizer.
     let mut t = Tape::new();
     let xv = t.constant(x.clone());
@@ -483,7 +508,10 @@ fn constants_receive_no_gradient() {
     let y = t.mul(xv, w);
     let loss = t.sum_all(y);
     t.backward(loss);
-    assert!(t.grad(xv).is_none(), "constants must not accumulate gradients");
+    assert!(
+        t.grad(xv).is_none(),
+        "constants must not accumulate gradients"
+    );
     assert!(t.grad(w).is_some());
 }
 
@@ -518,12 +546,36 @@ fn deep_chain_end_to_end() {
         4,
         4,
         vec![
-            CooEntry { row: 0, col: 1, val: 0.5 },
-            CooEntry { row: 1, col: 0, val: 0.5 },
-            CooEntry { row: 2, col: 3, val: 1.0 },
-            CooEntry { row: 3, col: 2, val: 1.0 },
-            CooEntry { row: 0, col: 0, val: 0.5 },
-            CooEntry { row: 1, col: 1, val: 0.5 },
+            CooEntry {
+                row: 0,
+                col: 1,
+                val: 0.5,
+            },
+            CooEntry {
+                row: 1,
+                col: 0,
+                val: 0.5,
+            },
+            CooEntry {
+                row: 2,
+                col: 3,
+                val: 1.0,
+            },
+            CooEntry {
+                row: 3,
+                col: 2,
+                val: 1.0,
+            },
+            CooEntry {
+                row: 0,
+                col: 0,
+                val: 0.5,
+            },
+            CooEntry {
+                row: 1,
+                col: 1,
+                val: 0.5,
+            },
         ],
     );
     let pair = SpPair::new(adj);
@@ -572,8 +624,16 @@ fn spmm_forward_matches_dense() {
         3,
         3,
         vec![
-            CooEntry { row: 0, col: 2, val: 2.0 },
-            CooEntry { row: 1, col: 1, val: -1.0 },
+            CooEntry {
+                row: 0,
+                col: 2,
+                val: 2.0,
+            },
+            CooEntry {
+                row: 1,
+                col: 1,
+                val: -1.0,
+            },
         ],
     );
     let dense_a = Matrix::from_vec(3, 3, adj.to_dense());
@@ -586,29 +646,40 @@ fn spmm_forward_matches_dense() {
     assert!(t.value(y).max_abs_diff(&expect) < 1e-6);
 }
 
-proptest::proptest! {
-    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
-
-    /// Property: for random shapes and values, the matmul backward rule
-    /// matches finite differences.
-    #[test]
-    fn prop_matmul_grad(seed in 0u64..1000, m in 1usize..5, k in 1usize..5, n in 1usize..5) {
-        let mut rng = Rng::seed_from_u64(seed);
+/// Property: for random shapes and values, the matmul backward rule
+/// matches finite differences. Seeded loop instead of proptest (no
+/// external dev-deps available offline).
+#[test]
+fn prop_matmul_grad() {
+    let mut meta = Rng::seed_from_u64(0xA57);
+    for case in 0..32u64 {
+        let mut rng = meta.fork(case);
+        let (m, k, n) = (
+            1 + rng.gen_range(4),
+            1 + rng.gen_range(4),
+            1 + rng.gen_range(4),
+        );
         let a = rand_matrix(&mut rng, m, k);
         let b = rand_matrix(&mut rng, k, n);
-        check_grad(&a, |t, x| {
-            let bv = t.constant(b.clone());
-            let y = t.matmul(x, bv);
-            let y2 = t.mul(y, y);
-            t.sum_all(y2)
-        }, "prop matmul");
+        check_grad(
+            &a,
+            |t, x| {
+                let bv = t.constant(b.clone());
+                let y = t.matmul(x, bv);
+                let y2 = t.mul(y, y);
+                t.sum_all(y2)
+            },
+            "prop matmul",
+        );
     }
+}
 
-    /// Property: relaxed quantizer output always lies between the min and
-    /// max of the individual quantizer outputs (convex combination).
-    #[test]
-    fn prop_relaxed_quant_convex(seed in 0u64..1000) {
-        let mut rng = Rng::seed_from_u64(seed);
+/// Property: relaxed quantizer output always lies between the min and
+/// max of the individual quantizer outputs (convex combination).
+#[test]
+fn prop_relaxed_quant_convex() {
+    for seed in 0..32u64 {
+        let mut rng = Rng::seed_from_u64(seed * 31 + 7);
         let x = rand_matrix(&mut rng, 3, 3);
         let qps: Vec<QuantParams> = [2u8, 4, 8]
             .iter()
@@ -624,7 +695,14 @@ proptest::proptest! {
             let lo = outs.iter().cloned().fold(f32::INFINITY, f32::min) - 1e-5;
             let hi = outs.iter().cloned().fold(f32::NEG_INFINITY, f32::max) + 1e-5;
             let v = t.value(y).data()[i];
-            proptest::prop_assert!(v >= lo && v <= hi, "element {} = {} outside [{}, {}]", i, v, lo, hi);
+            assert!(
+                v >= lo && v <= hi,
+                "element {} = {} outside [{}, {}]",
+                i,
+                v,
+                lo,
+                hi
+            );
         }
     }
 }
@@ -685,13 +763,41 @@ fn gat_graph() -> Arc<CsrMatrix> {
         4,
         4,
         vec![
-            CooEntry { row: 0, col: 0, val: 1.0 },
-            CooEntry { row: 0, col: 1, val: 1.0 },
-            CooEntry { row: 0, col: 2, val: 1.0 },
-            CooEntry { row: 1, col: 1, val: 1.0 },
-            CooEntry { row: 1, col: 0, val: 1.0 },
-            CooEntry { row: 2, col: 2, val: 1.0 },
-            CooEntry { row: 2, col: 1, val: 1.0 },
+            CooEntry {
+                row: 0,
+                col: 0,
+                val: 1.0,
+            },
+            CooEntry {
+                row: 0,
+                col: 1,
+                val: 1.0,
+            },
+            CooEntry {
+                row: 0,
+                col: 2,
+                val: 1.0,
+            },
+            CooEntry {
+                row: 1,
+                col: 1,
+                val: 1.0,
+            },
+            CooEntry {
+                row: 1,
+                col: 0,
+                val: 1.0,
+            },
+            CooEntry {
+                row: 2,
+                col: 2,
+                val: 1.0,
+            },
+            CooEntry {
+                row: 2,
+                col: 1,
+                val: 1.0,
+            },
         ],
     ))
 }
@@ -708,9 +814,9 @@ fn gat_attention_weights_sum_to_one() {
     // y_i is the plain mean over N(i).
     let y = t.gat_aggregate(hv, ones, ones, &adj, 0.2);
     let y0 = t.value(y).row_slice(0);
-    for c in 0..3 {
+    for (c, &yv) in y0.iter().enumerate() {
         let mean = (h.get(0, c) + h.get(1, c) + h.get(2, c)) / 3.0;
-        assert!((y0[c] - mean).abs() < 1e-5, "uniform attention must average");
+        assert!((yv - mean).abs() < 1e-5, "uniform attention must average");
     }
     // Isolated node produces zeros.
     assert!(t.value(y).row_slice(3).iter().all(|&v| v == 0.0));
@@ -837,7 +943,10 @@ fn lsq_scale_gradient_pulls_range_toward_data() {
     let loss = t.sum_all(sq);
     t.backward(loss);
     let g = t.grad(sv).unwrap().item();
-    assert!(g < 0.0, "scale gradient {g} should increase the scale to cover the data");
+    assert!(
+        g < 0.0,
+        "scale gradient {g} should increase the scale to cover the data"
+    );
 }
 
 #[test]
@@ -849,7 +958,12 @@ fn op_histogram_counts_recorded_ops() {
     let d = t.mul(c, a);
     let _ = t.sum_all(d);
     let hist = t.op_histogram();
-    let get = |n: &str| hist.iter().find(|(k, _)| *k == n).map(|&(_, c)| c).unwrap_or(0);
+    let get = |n: &str| {
+        hist.iter()
+            .find(|(k, _)| *k == n)
+            .map(|&(_, c)| c)
+            .unwrap_or(0)
+    };
     assert_eq!(get("leaf"), 2);
     assert_eq!(get("mul"), 2);
     assert_eq!(get("sum_all"), 1);
@@ -902,5 +1016,8 @@ fn dot_attn_uniform_when_keys_identical() {
         let mean = (v.get(0, c) + v.get(1, c) + v.get(2, c)) / 3.0;
         assert!((t.value(y).get(0, c) - mean).abs() < 1e-5);
     }
-    assert!(t.value(y).row_slice(3).iter().all(|&x| x == 0.0), "isolated node stays zero");
+    assert!(
+        t.value(y).row_slice(3).iter().all(|&x| x == 0.0),
+        "isolated node stays zero"
+    );
 }

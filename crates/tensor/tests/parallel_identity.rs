@@ -1,0 +1,72 @@
+//! Property tests: the parallel dense kernels are bit-identical to the
+//! serial kernels for random shapes at 1–8 threads, including single-row
+//! and single-column matrices.
+//!
+//! One `#[test]` only: the thread count and the serial-fallback threshold
+//! are process-wide knobs, and cargo runs tests in one binary concurrently.
+
+use mixq_tensor::parallel::{set_num_threads, set_parallel_row_threshold, DEFAULT_ROW_THRESHOLD};
+use mixq_tensor::{Matrix, QuantParams, Rng};
+
+fn random_matrix(rng: &mut Rng, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.uniform_in(-2.0, 2.0))
+}
+
+fn assert_bits_eq(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+    let same = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .all(|(x, y)| x.to_bits() == y.to_bits());
+    assert!(
+        same,
+        "{what}: parallel result is not bit-identical to serial"
+    );
+}
+
+#[test]
+fn parallel_dense_kernels_bit_identical_to_serial() {
+    // Force the threaded path even for tiny shapes.
+    set_parallel_row_threshold(0);
+    let mut rng = Rng::seed_from_u64(0xDE17);
+
+    // (m, k, n) triples covering single-row, single-col, uneven splits.
+    let shapes = [
+        (1usize, 1usize, 1usize),
+        (1, 7, 3),
+        (5, 1, 4),
+        (3, 4, 1),
+        (8, 8, 8),
+        (17, 5, 9),
+        (33, 16, 7),
+    ];
+    for &(m, k, n) in &shapes {
+        let a = random_matrix(&mut rng, m, k);
+        let b = random_matrix(&mut rng, k, n);
+        let g = random_matrix(&mut rng, m, n);
+        let qp = QuantParams::from_min_max(-1.5, 1.5, 4);
+
+        set_num_threads(1);
+        let mm = a.matmul(&b);
+        let atb = a.matmul_at_b(&g); // (k × n) — the dB backward rule
+        let abt = g.matmul_a_bt(&b); // (m × k) — the dA backward rule
+        let fq = a.par_map(|x| qp.fake(x));
+        let zi = a.par_zip(&a, |x, y| x * y + 0.5);
+
+        for threads in 2..=8usize {
+            set_num_threads(threads);
+            assert_bits_eq(&mm, &a.matmul(&b), "matmul");
+            assert_bits_eq(&atb, &a.matmul_at_b(&g), "matmul_at_b");
+            assert_bits_eq(&abt, &g.matmul_a_bt(&b), "matmul_a_bt");
+            assert_bits_eq(&fq, &a.par_map(|x| qp.fake(x)), "par_map");
+            assert_bits_eq(&zi, &a.par_zip(&a, |x, y| x * y + 0.5), "par_zip");
+            // The parallel map must also agree with the serial `map`.
+            assert_bits_eq(&fq, &a.map(|x| qp.fake(x)), "par_map vs map");
+        }
+    }
+
+    // Restore defaults for any later test in this binary.
+    set_num_threads(1);
+    set_parallel_row_threshold(DEFAULT_ROW_THRESHOLD);
+}

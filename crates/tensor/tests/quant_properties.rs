@@ -1,71 +1,118 @@
 //! Property-based tests of the quantization primitives.
+//!
+//! Randomized with the workspace's own seeded [`Rng`] rather than proptest:
+//! external dev-dependencies cannot be fetched in the offline build
+//! environment, and deterministic seeds make failures directly
+//! reproducible.
 
-use proptest::prelude::*;
+use mixq_tensor::{QuantParams, Rng};
 
-use mixq_tensor::QuantParams;
+const CASES: u64 = 256;
 
-proptest! {
-    /// Quantize→dequantize error is bounded by half a step inside the
-    /// representable range.
-    #[test]
-    fn round_trip_error_bounded(
-        lo in -100f32..0.0,
-        span in 0.1f32..200.0,
-        bits in 2u8..9,
-        t in 0f32..1.0,
-    ) {
-        let hi = lo + span;
-        let qp = QuantParams::from_min_max(lo, hi, bits);
+/// Quantize→dequantize error is bounded by half a step inside the
+/// representable range.
+#[test]
+fn round_trip_error_bounded() {
+    let mut rng = Rng::seed_from_u64(0x51);
+    for _ in 0..CASES {
+        let lo = rng.uniform_in(-100.0, 0.0);
+        let span = rng.uniform_in(0.1, 200.0);
+        let bits = 2 + rng.gen_range(7) as u8;
+        let t = rng.uniform_in(0.0, 1.0);
+        let qp = QuantParams::from_min_max(lo, lo + span, bits);
         let (rlo, rhi) = qp.real_range();
         let x = rlo + t * (rhi - rlo);
         let err = (qp.fake(x) - x).abs();
-        prop_assert!(err <= qp.scale * 0.5 + 1e-5, "err {} > half-scale {}", err, qp.scale * 0.5);
+        assert!(
+            err <= qp.scale * 0.5 + 1e-5,
+            "err {} > half-scale {}",
+            err,
+            qp.scale * 0.5
+        );
     }
+}
 
-    /// Fake quantization is idempotent: quantizing a quantized value is a
-    /// no-op.
-    #[test]
-    fn fake_quant_idempotent(x in -50f32..50.0, bits in 2u8..9) {
+/// Fake quantization is idempotent: quantizing a quantized value is a no-op.
+#[test]
+fn fake_quant_idempotent() {
+    let mut rng = Rng::seed_from_u64(0x52);
+    for _ in 0..CASES {
+        let x = rng.uniform_in(-50.0, 50.0);
+        let bits = 2 + rng.gen_range(7) as u8;
         let qp = QuantParams::from_min_max(-10.0, 10.0, bits);
         let once = qp.fake(x);
-        prop_assert_eq!(qp.fake(once), once);
+        assert_eq!(qp.fake(once), once, "x={x} bits={bits}");
     }
+}
 
-    /// Quantization is monotone: x ≤ y ⇒ Q(x) ≤ Q(y).
-    #[test]
-    fn quantize_is_monotone(a in -20f32..20.0, b in -20f32..20.0, bits in 2u8..9) {
+/// Quantization is monotone: x ≤ y ⇒ Q(x) ≤ Q(y).
+#[test]
+fn quantize_is_monotone() {
+    let mut rng = Rng::seed_from_u64(0x53);
+    for _ in 0..CASES {
+        let a = rng.uniform_in(-20.0, 20.0);
+        let b = rng.uniform_in(-20.0, 20.0);
+        let bits = 2 + rng.gen_range(7) as u8;
         let qp = QuantParams::from_min_max(-5.0, 5.0, bits);
         let (x, y) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(qp.quantize(x) <= qp.quantize(y));
+        assert!(qp.quantize(x) <= qp.quantize(y), "x={x} y={y} bits={bits}");
     }
+}
 
-    /// Codes always land in [qmin, qmax] no matter the input.
-    #[test]
-    fn codes_in_range(x in proptest::num::f32::NORMAL, bits in 2u8..9) {
+/// Codes always land in [qmin, qmax] no matter the input, including huge
+/// magnitudes and exact powers of two.
+#[test]
+fn codes_in_range() {
+    let mut rng = Rng::seed_from_u64(0x54);
+    for i in 0..CASES {
+        // Mix uniform draws with extreme magnitudes.
+        let x = match i % 4 {
+            0 => rng.uniform_in(-1e6, 1e6),
+            1 => rng.uniform_in(-1.0, 1.0) * 1e30,
+            2 => rng.uniform_in(-1e-30, 1e-30),
+            _ => {
+                (2f32).powi(rng.gen_range(60) as i32 - 30)
+                    * if rng.bernoulli(0.5) { 1.0 } else { -1.0 }
+            }
+        };
+        let bits = 2 + rng.gen_range(7) as u8;
         let qp = QuantParams::from_min_max(-1.0, 1.0, bits);
         let q = qp.quantize(x);
-        prop_assert!(q >= qp.qmin && q <= qp.qmax);
+        assert!(q >= qp.qmin && q <= qp.qmax, "x={x} bits={bits} q={q}");
     }
+}
 
-    /// More bits never increase the round-trip error for in-range values.
-    #[test]
-    fn wider_is_never_worse(t in 0.02f32..0.98) {
+/// More bits never increase the round-trip error for in-range values.
+#[test]
+fn wider_is_never_worse() {
+    let mut rng = Rng::seed_from_u64(0x55);
+    for _ in 0..CASES {
         // Use the symmetric interior to avoid edge-of-range clipping noise.
+        let t = rng.uniform_in(0.02, 0.98);
         let x = -1.0 + 2.0 * t;
         let mut last = f32::INFINITY;
         for bits in [2u8, 4, 8, 16] {
             let qp = QuantParams::from_min_max(-1.0, 1.0, bits);
             let err = (qp.fake(x) - x).abs();
-            prop_assert!(err <= last + 1e-6, "error grew from {} to {} at {} bits", last, err, bits);
+            assert!(
+                err <= last + 1e-6,
+                "error grew from {last} to {err} at {bits} bits"
+            );
             last = err;
         }
     }
+}
 
-    /// Symmetric quantizers map 0 to code 0 exactly.
-    #[test]
-    fn symmetric_zero_code(lo in -10f32..-0.1, hi in 0.1f32..10.0, bits in 2u8..9) {
+/// Symmetric quantizers map 0 to code 0 exactly.
+#[test]
+fn symmetric_zero_code() {
+    let mut rng = Rng::seed_from_u64(0x56);
+    for _ in 0..CASES {
+        let lo = rng.uniform_in(-10.0, -0.1);
+        let hi = rng.uniform_in(0.1, 10.0);
+        let bits = 2 + rng.gen_range(7) as u8;
         let qp = QuantParams::symmetric(lo, hi, bits);
-        prop_assert_eq!(qp.quantize(0.0), 0);
-        prop_assert_eq!(qp.fake(0.0), 0.0);
+        assert_eq!(qp.quantize(0.0), 0);
+        assert_eq!(qp.fake(0.0), 0.0);
     }
 }

@@ -38,7 +38,10 @@ fn main() {
         name: "custom".into(),
         adj,
         features,
-        targets: NodeTargets::SingleLabel { labels, num_classes },
+        targets: NodeTargets::SingleLabel {
+            labels,
+            num_classes,
+        },
         train_idx,
         val_idx,
         test_idx,
@@ -58,7 +61,13 @@ fn main() {
         0.5,
         &mut rng,
     );
-    let cfg = TrainConfig { epochs: 120, lr: 0.01, weight_decay: 5e-4, seed: 0, patience: 40 };
+    let cfg = TrainConfig {
+        epochs: 120,
+        lr: 0.01,
+        weight_decay: 5e-4,
+        seed: 0,
+        patience: 40,
+    };
     let report = train_node(&mut net, &mut ps, &ds, &bundle, &cfg);
     println!("INT8 test accuracy: {:.1}%", report.test_metric * 100.0);
 
@@ -67,5 +76,9 @@ fn main() {
     let bits = dir.join("custom_model.bits.txt");
     save_params(&ps, &ckpt).expect("write checkpoint");
     std::fs::write(&bits, assignment.to_text()).expect("write bit assignment");
-    println!("saved checkpoint to {} and bit assignment to {}", ckpt.display(), bits.display());
+    println!(
+        "saved checkpoint to {} and bit assignment to {}",
+        ckpt.display(),
+        bits.display()
+    );
 }

@@ -23,7 +23,13 @@ fn main() {
         test.num_graphs(),
         ds.feat_dim()
     );
-    let cfg = TrainConfig { epochs: 80, lr: 0.01, weight_decay: 1e-4, seed: 0, patience: 0 };
+    let cfg = TrainConfig {
+        epochs: 80,
+        lr: 0.01,
+        weight_decay: 1e-4,
+        seed: 0,
+        patience: 0,
+    };
 
     // FP32 baseline.
     let mut ps = ParamSet::new();
@@ -33,7 +39,13 @@ fn main() {
     println!("FP32 GIN test accuracy: {:.1}%", fp32_acc * 100.0);
 
     // MixQ search over {4,8} bits, then QAT retraining.
-    let scfg = SearchConfig { epochs: 50, lr: 0.01, lambda: 0.1, seed: 0, warmup: 25 };
+    let scfg = SearchConfig {
+        epochs: 50,
+        lr: 0.01,
+        lambda: 0.1,
+        seed: 0,
+        warmup: 25,
+    };
     let assignment =
         search_gin_graph_bits(&train, ds.feat_dim(), 32, ds.num_classes, 5, &[4, 8], &scfg);
     println!("selected bits: {:?}", assignment.bits);

@@ -29,9 +29,18 @@ fn main() {
         0.5,
         &mut rng,
     );
-    let cfg = TrainConfig { epochs: 120, lr: 0.01, weight_decay: 5e-4, seed: 0, patience: 40 };
+    let cfg = TrainConfig {
+        epochs: 120,
+        lr: 0.01,
+        weight_decay: 5e-4,
+        seed: 0,
+        patience: 40,
+    };
     let rep = train_node(&mut net, &mut ps, &ds, &bundle, &cfg);
-    println!("fake-quantized (QAT) test accuracy: {:.1}%", rep.test_metric * 100.0);
+    println!(
+        "fake-quantized (QAT) test accuracy: {:.1}%",
+        rep.test_metric * 100.0
+    );
 
     // Export scales/zero-points + weights, quantize the adjacency once, and
     // run the whole forward pass on integer codes.
@@ -39,7 +48,10 @@ fn main() {
     let engine = QuantizedGcn::prepare(&snapshot, &gcn_normalize(&ds.adj));
     let logits = engine.infer(&ds.features);
     let int_acc = accuracy(&logits, ds.labels(), &ds.test_idx);
-    println!("integer-only inference test accuracy: {:.1}%", int_acc * 100.0);
+    println!(
+        "integer-only inference test accuracy: {:.1}%",
+        int_acc * 100.0
+    );
 
     let mut rng = Rng::seed_from_u64(1);
     let fq_acc = eval_node(&mut net, &ps, &ds, &bundle, &ds.test_idx, &mut rng);

@@ -23,7 +23,13 @@ fn main() {
         ds.num_classes()
     );
     let dims = vec![ds.feat_dim(), 64, ds.num_classes()];
-    let train_cfg = TrainConfig { epochs: 150, lr: 0.01, weight_decay: 5e-4, seed: 0, patience: 40 };
+    let train_cfg = TrainConfig {
+        epochs: 150,
+        lr: 0.01,
+        weight_decay: 5e-4,
+        seed: 0,
+        patience: 40,
+    };
 
     // 2. FP32 baseline.
     let mut rng = Rng::seed_from_u64(0);
@@ -45,7 +51,13 @@ fn main() {
 
     // 3. MixQ bit-width search (Algorithm 1): relax every component over
     //    {2,4,8} bits and train the α logits with the bit-cost penalty.
-    let search_cfg = SearchConfig { epochs: 60, lr: 0.01, lambda: 0.1, seed: 0, warmup: 30 };
+    let search_cfg = SearchConfig {
+        epochs: 60,
+        lr: 0.01,
+        lambda: 0.1,
+        seed: 0,
+        warmup: 30,
+    };
     let assignment = search_gcn_bits(&ds, &bundle, &dims, &[2, 4, 8], 0.5, &search_cfg);
     println!("MixQ-selected bit-widths:");
     for (name, bits) in assignment.names.iter().zip(&assignment.bits) {
@@ -65,7 +77,10 @@ fn main() {
         &mut rng,
     );
     let qrep = train_node(&mut qnet, &mut ps, &ds, &bundle, &train_cfg);
-    let qcost = qnet.cost_model(ds.num_nodes() as u64, (ds.num_edges() + ds.num_nodes()) as u64);
+    let qcost = qnet.cost_model(
+        ds.num_nodes() as u64,
+        (ds.num_edges() + ds.num_nodes()) as u64,
+    );
     println!(
         "MixQ:  accuracy {:.1}%, {:.2} avg bits, {:.2} GBitOPs ({:.1}× fewer bit operations)",
         qrep.test_metric * 100.0,

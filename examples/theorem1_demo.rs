@@ -16,7 +16,11 @@ fn main() {
     for i in 0..n {
         for j in 0..n {
             if i != j && rng.bernoulli(0.3) {
-                entries.push(CooEntry { row: i, col: j, val: 1.0 });
+                entries.push(CooEntry {
+                    row: i,
+                    col: j,
+                    val: 1.0,
+                });
             }
         }
     }
@@ -33,11 +37,16 @@ fn main() {
 
     // Integer path (Theorem 1): C1 ⊙ Qa(A)Qx(X) ⊙ C2 + C3.
     let p = QmpParams::per_tensor(
-        n, f,
-        a_qp.scale, 0,
-        x_qp.scale, x_qp.zero_point,
-        y_qp.scale, y_qp.zero_point,
-        y_qp.qmin, y_qp.qmax,
+        n,
+        f,
+        a_qp.scale,
+        0,
+        x_qp.scale,
+        x_qp.zero_point,
+        y_qp.scale,
+        y_qp.zero_point,
+        y_qp.qmin,
+        y_qp.qmax,
     );
     let qy = quantized_spmm(&qa, &qx, f, &p);
 
@@ -48,7 +57,10 @@ fn main() {
     let qy_ref: Vec<i32> = y_ref.iter().map(|&v| y_qp.quantize(v)).collect();
 
     let matches = qy.iter().zip(&qy_ref).filter(|(a, b)| a == b).count();
-    println!("integer path matches FP reference on {matches}/{} entries", qy.len());
+    println!(
+        "integer path matches FP reference on {matches}/{} entries",
+        qy.len()
+    );
     assert_eq!(qy, qy_ref, "Theorem 1 must be numerically exact");
     println!("Theorem 1 verified: Q_y(AX) computed exactly from integer codes.");
 }

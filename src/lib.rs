@@ -8,6 +8,9 @@
 //!
 //! This facade crate re-exports the workspace:
 //!
+//! * [`parallel`] — the scoped-thread runtime behind every compute kernel
+//!   (`MIXQ_THREADS` / [`parallel::set_num_threads`]; results stay
+//!   bit-identical to serial at any thread count);
 //! * [`tensor`] — matrices, seeded RNG, quantization parameters, autograd;
 //! * [`sparse`] — CSR matrices, float and integer SpMM, normalizations;
 //! * [`graph`] — datasets, CSL, Laplacian PE, batching, splits;
@@ -20,5 +23,6 @@
 pub use mixq_core as core;
 pub use mixq_graph as graph;
 pub use mixq_nn as nn;
+pub use mixq_parallel as parallel;
 pub use mixq_sparse as sparse;
 pub use mixq_tensor as tensor;

@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: the full train → quantize → search
 //! pipeline on a small synthetic dataset. Sized to run in debug mode.
 
-use mixq::core::{
-    gcn_schema, search_gcn_bits, BitAssignment, QGcnNet, QuantKind, SearchConfig,
-};
+use mixq::core::{gcn_schema, search_gcn_bits, BitAssignment, QGcnNet, QuantKind, SearchConfig};
 use mixq::graph::{citation_like, CitationConfig, NodeDataset};
 use mixq::nn::{train_node, GcnNet, NodeBundle, ParamSet, TrainConfig};
 use mixq::tensor::Rng;
@@ -30,7 +28,13 @@ fn tiny_dataset(seed: u64) -> NodeDataset {
 }
 
 fn train_cfg(seed: u64) -> TrainConfig {
-    TrainConfig { epochs: 80, lr: 0.01, weight_decay: 5e-4, seed, patience: 30 }
+    TrainConfig {
+        epochs: 80,
+        lr: 0.01,
+        weight_decay: 5e-4,
+        seed,
+        patience: 30,
+    }
 }
 
 fn train_fp32(ds: &NodeDataset, bundle: &NodeBundle, seed: u64) -> f64 {
@@ -46,8 +50,15 @@ fn train_quantized(ds: &NodeDataset, bundle: &NodeBundle, bits: u8, seed: u64) -
     let mut ps = ParamSet::new();
     let dims = [ds.feat_dim(), 16, ds.num_classes()];
     let a = BitAssignment::uniform(gcn_schema(2), bits);
-    let mut net =
-        QGcnNet::new(&mut ps, &dims, a, QuantKind::Native, &bundle.degrees, 0.5, &mut rng);
+    let mut net = QGcnNet::new(
+        &mut ps,
+        &dims,
+        a,
+        QuantKind::Native,
+        &bundle.degrees,
+        0.5,
+        &mut rng,
+    );
     train_node(&mut net, &mut ps, ds, bundle, &train_cfg(seed)).test_metric
 }
 
@@ -56,7 +67,10 @@ fn fp32_gcn_learns_the_synthetic_task() {
     let ds = tiny_dataset(1);
     let bundle = NodeBundle::new(&ds);
     let acc = train_fp32(&ds, &bundle, 0);
-    assert!(acc > 0.6, "FP32 accuracy {acc} too low — the pipeline is broken");
+    assert!(
+        acc > 0.6,
+        "FP32 accuracy {acc} too low — the pipeline is broken"
+    );
 }
 
 #[test]
@@ -88,18 +102,34 @@ fn mixq_search_produces_trainable_assignment() {
     let ds = tiny_dataset(4);
     let bundle = NodeBundle::new(&ds);
     let dims = [ds.feat_dim(), 16, ds.num_classes()];
-    let scfg = SearchConfig { epochs: 24, lr: 0.02, lambda: 0.1, seed: 0, warmup: 12 };
+    let scfg = SearchConfig {
+        epochs: 24,
+        lr: 0.02,
+        lambda: 0.1,
+        seed: 0,
+        warmup: 12,
+    };
     let a = search_gcn_bits(&ds, &bundle, &dims, &[2, 4, 8], 0.5, &scfg);
     assert_eq!(a.len(), 9);
     assert!(a.bits.iter().all(|b| [2u8, 4, 8].contains(b)));
 
     let mut rng = Rng::seed_from_u64(9);
     let mut ps = ParamSet::new();
-    let mut net =
-        QGcnNet::new(&mut ps, &dims, a, QuantKind::Native, &bundle.degrees, 0.5, &mut rng);
+    let mut net = QGcnNet::new(
+        &mut ps,
+        &dims,
+        a,
+        QuantKind::Native,
+        &bundle.degrees,
+        0.5,
+        &mut rng,
+    );
     let acc = train_node(&mut net, &mut ps, &ds, &bundle, &train_cfg(0)).test_metric;
     let chance = 1.0 / ds.num_classes() as f64;
-    assert!(acc > 2.0 * chance, "MixQ-selected model accuracy {acc} barely above chance");
+    assert!(
+        acc > 2.0 * chance,
+        "MixQ-selected model accuracy {acc} barely above chance"
+    );
 }
 
 #[test]
@@ -114,7 +144,10 @@ fn dq_quantizer_trains_on_the_same_pipeline() {
         &mut ps,
         &dims,
         a,
-        QuantKind::Dq { p_min: 0.0, p_max: 0.3 },
+        QuantKind::Dq {
+            p_min: 0.0,
+            p_max: 0.3,
+        },
         &bundle.degrees,
         0.5,
         &mut rng,
@@ -135,7 +168,11 @@ fn a2q_quantizer_trains_on_the_same_pipeline() {
         &mut ps,
         &dims,
         a,
-        QuantKind::A2q { lo: 2, mid: 4, hi: 8 },
+        QuantKind::A2q {
+            lo: 2,
+            mid: 4,
+            hi: 8,
+        },
         &bundle.degrees,
         0.5,
         &mut rng,

@@ -2,8 +2,7 @@
 //! the GIN architecture, quantized training and the MixQ graph search.
 
 use mixq::core::{
-    gin_graph_schema, search_gin_graph_bits, BitAssignment, QGinGraphNet, QuantKind,
-    SearchConfig,
+    gin_graph_schema, search_gin_graph_bits, BitAssignment, QGinGraphNet, QuantKind, SearchConfig,
 };
 use mixq::graph::{imdb_b_like, stratified_kfold};
 use mixq::nn::{train_graph, GinGraphNet, GraphBundle, ParamSet, TrainConfig};
@@ -13,7 +12,10 @@ fn split(ds: &mixq::graph::GraphDataset, seed: u64) -> (GraphBundle, GraphBundle
     let mut rng = Rng::seed_from_u64(seed);
     let folds = stratified_kfold(&mut rng, &ds.labels, ds.num_classes, 4);
     let (train_idx, test_idx) = &folds[0];
-    (GraphBundle::from_graphs(ds, train_idx), GraphBundle::from_graphs(ds, test_idx))
+    (
+        GraphBundle::from_graphs(ds, train_idx),
+        GraphBundle::from_graphs(ds, test_idx),
+    )
 }
 
 #[test]
@@ -23,9 +25,18 @@ fn fp32_gin_learns_graph_classification() {
     let mut ps = ParamSet::new();
     let mut rng = Rng::seed_from_u64(0);
     let mut net = GinGraphNet::new(&mut ps, ds.feat_dim(), 16, ds.num_classes, 3, &mut rng);
-    let cfg = TrainConfig { epochs: 60, lr: 0.01, weight_decay: 1e-4, seed: 0, patience: 0 };
+    let cfg = TrainConfig {
+        epochs: 60,
+        lr: 0.01,
+        weight_decay: 1e-4,
+        seed: 0,
+        patience: 0,
+    };
     let (train_acc, test_acc) = train_graph(&mut net, &mut ps, &train, &test, &cfg);
-    assert!(train_acc > 0.8, "GIN should fit the train split, got {train_acc}");
+    assert!(
+        train_acc > 0.8,
+        "GIN should fit the train split, got {train_acc}"
+    );
     assert!(test_acc > 0.6, "GIN test accuracy {test_acc} too low");
 }
 
@@ -33,7 +44,13 @@ fn fp32_gin_learns_graph_classification() {
 fn quantized_gin_int8_close_to_fp32() {
     let ds = imdb_b_like(22, 80);
     let (train, test) = split(&ds, 2);
-    let cfg = TrainConfig { epochs: 60, lr: 0.01, weight_decay: 1e-4, seed: 0, patience: 0 };
+    let cfg = TrainConfig {
+        epochs: 60,
+        lr: 0.01,
+        weight_decay: 1e-4,
+        seed: 0,
+        patience: 0,
+    };
 
     let mut ps = ParamSet::new();
     let mut rng = Rng::seed_from_u64(0);
@@ -65,7 +82,13 @@ fn quantized_gin_int8_close_to_fp32() {
 fn gin_graph_search_returns_valid_assignment() {
     let ds = imdb_b_like(23, 60);
     let (train, _) = split(&ds, 3);
-    let scfg = SearchConfig { epochs: 16, lr: 0.02, lambda: 0.1, seed: 0, warmup: 8 };
+    let scfg = SearchConfig {
+        epochs: 16,
+        lr: 0.02,
+        lambda: 0.1,
+        seed: 0,
+        warmup: 8,
+    };
     let a = search_gin_graph_bits(&train, ds.feat_dim(), 16, ds.num_classes, 3, &[4, 8], &scfg);
     assert_eq!(a.names, gin_graph_schema(3));
     assert!(a.bits.iter().all(|b| [4u8, 8].contains(b)));
@@ -88,13 +111,26 @@ fn quantized_gin_handles_different_eval_batch_sizes() {
         ds.num_classes,
         2,
         a,
-        QuantKind::A2q { lo: 4, mid: 4, hi: 8 },
+        QuantKind::A2q {
+            lo: 4,
+            mid: 4,
+            hi: 8,
+        },
         &train.degrees,
         &mut rng,
     );
-    let cfg = TrainConfig { epochs: 20, lr: 0.01, weight_decay: 1e-4, seed: 0, patience: 0 };
+    let cfg = TrainConfig {
+        epochs: 20,
+        lr: 0.01,
+        weight_decay: 1e-4,
+        seed: 0,
+        patience: 0,
+    };
     let (_, test_acc) = train_graph(&mut qnet, &mut ps, &train, &test, &cfg);
-    assert!(test_acc > 0.4, "A2Q GIN should at least beat chance, got {test_acc}");
+    assert!(
+        test_acc > 0.4,
+        "A2Q GIN should at least beat chance, got {test_acc}"
+    );
 }
 
 #[test]
@@ -116,11 +152,20 @@ fn gcn_graph_net_requantizes_adjacency_per_batch() {
         ds.num_classes,
         2,
         a,
-        QuantKind::Dq { p_min: 0.0, p_max: 0.2 },
+        QuantKind::Dq {
+            p_min: 0.0,
+            p_max: 0.2,
+        },
         &train.degrees,
         &mut rng,
     );
-    let cfg = TrainConfig { epochs: 15, lr: 0.01, weight_decay: 1e-4, seed: 0, patience: 0 };
+    let cfg = TrainConfig {
+        epochs: 15,
+        lr: 0.01,
+        weight_decay: 1e-4,
+        seed: 0,
+        patience: 0,
+    };
     let (_, test_acc) = train_graph(&mut net, &mut ps, &train, &test, &cfg);
     assert!(test_acc.is_finite());
 }
@@ -141,11 +186,20 @@ fn dq_gin_trains_despite_pooled_head_tensors() {
         ds.num_classes,
         2,
         a,
-        QuantKind::Dq { p_min: 0.0, p_max: 0.3 },
+        QuantKind::Dq {
+            p_min: 0.0,
+            p_max: 0.3,
+        },
         &train.degrees,
         &mut rng,
     );
-    let cfg = TrainConfig { epochs: 20, lr: 0.01, weight_decay: 1e-4, seed: 0, patience: 0 };
+    let cfg = TrainConfig {
+        epochs: 20,
+        lr: 0.01,
+        weight_decay: 1e-4,
+        seed: 0,
+        patience: 0,
+    };
     let (_, test_acc) = train_graph(&mut net, &mut ps, &train, &test, &cfg);
     assert!(test_acc > 0.4, "DQ GIN should beat chance, got {test_acc}");
 }

@@ -33,9 +33,22 @@ fn integer_inference_matches_fake_quantized_path() {
     let a = BitAssignment::uniform(gcn_schema(2), 8);
     let mut rng = Rng::seed_from_u64(0);
     let mut ps = ParamSet::new();
-    let mut net =
-        QGcnNet::new(&mut ps, &dims, a, QuantKind::Native, &bundle.degrees, 0.5, &mut rng);
-    let cfg = TrainConfig { epochs: 60, lr: 0.01, weight_decay: 5e-4, seed: 0, patience: 30 };
+    let mut net = QGcnNet::new(
+        &mut ps,
+        &dims,
+        a,
+        QuantKind::Native,
+        &bundle.degrees,
+        0.5,
+        &mut rng,
+    );
+    let cfg = TrainConfig {
+        epochs: 60,
+        lr: 0.01,
+        weight_decay: 5e-4,
+        seed: 0,
+        patience: 30,
+    };
     let rep = train_node(&mut net, &mut ps, &ds, &bundle, &cfg);
 
     // Fake-quantized path (eval mode).
@@ -88,7 +101,11 @@ fn integer_inference_matches_fake_quantized_path() {
     }
     let rate = agree as f64 / ds.num_nodes() as f64;
     assert!(rate > 0.97, "prediction agreement only {rate}");
-    assert!(rep.test_metric > 0.5, "trained model should be decent, got {}", rep.test_metric);
+    assert!(
+        rep.test_metric > 0.5,
+        "trained model should be decent, got {}",
+        rep.test_metric
+    );
 }
 
 #[test]
@@ -119,9 +136,22 @@ fn integer_sage_inference_agrees_with_training_path() {
     let a = BitAssignment::uniform(sage_schema(2), 8);
     let mut rng = Rng::seed_from_u64(0);
     let mut ps = ParamSet::new();
-    let mut net =
-        QSageNet::new(&mut ps, &dims, a, QuantKind::Native, &bundle.degrees, 0.5, &mut rng);
-    let cfg = TrainConfig { epochs: 50, lr: 0.01, weight_decay: 5e-4, seed: 0, patience: 25 };
+    let mut net = QSageNet::new(
+        &mut ps,
+        &dims,
+        a,
+        QuantKind::Native,
+        &bundle.degrees,
+        0.5,
+        &mut rng,
+    );
+    let cfg = TrainConfig {
+        epochs: 50,
+        lr: 0.01,
+        weight_decay: 5e-4,
+        seed: 0,
+        patience: 25,
+    };
     let rep = train_node(&mut net, &mut ps, &ds, &bundle, &cfg);
     assert!(rep.test_metric > 0.5, "trained SAGE should be decent");
 

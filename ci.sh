@@ -16,4 +16,15 @@ cargo build --release
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> telemetry smoke (table1 with MIXQ_TELEMETRY=1)"
+smoke_dir="$(mktemp -d)"
+MIXQ_TELEMETRY=1 MIXQ_TELEMETRY_DIR="$smoke_dir" ./target/release/table1 > /dev/null
+./target/release/telemetry_check "$smoke_dir/table1.json" \
+  --expect counters.tensor.matmul.calls \
+  --expect series.train.loss \
+  --expect series.search.alpha_entropy \
+  --expect histograms.search.bits \
+  --expect spans.train_node/epoch
+rm -rf "$smoke_dir"
+
 echo "CI OK"

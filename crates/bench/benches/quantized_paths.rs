@@ -71,7 +71,8 @@ fn bench_relaxed_overhead() {
         &bundle.degrees,
         0.0,
         &mut rng,
-    );
+    )
+    .expect("assignment matches schema");
     bench("fixed_bit_qat_forward", || {
         let mut tape = Tape::new();
         let mut binding = Binding::new();

@@ -85,4 +85,11 @@ fn main() {
         pearson(&xs, &ys)
     );
     println!("(paper: AMD 0.59, Apple M1 0.95, Intel 0.70)");
+
+    if mixq_telemetry::enabled() {
+        match mixq_telemetry::write_report("fig8") {
+            Ok(p) => println!("telemetry report written to {}", p.display()),
+            Err(e) => eprintln!("telemetry report failed: {e}"),
+        }
+    }
 }

@@ -3,9 +3,9 @@
 //! compares exactly these).
 
 use mixq_bench::Table;
-use mixq_core::{A2qQuantizer, RelaxedGcnNet};
-use mixq_graph::arxiv_like;
-use mixq_nn::{GcnNet, NodeBundle, ParamSet};
+use mixq_core::{search_gcn_bits, A2qQuantizer, RelaxedGcnNet, SearchConfig};
+use mixq_graph::{arxiv_like, cora_like};
+use mixq_nn::{train_node, GcnNet, NodeBundle, ParamSet, TrainConfig};
 use mixq_tensor::Rng;
 
 fn main() {
@@ -61,4 +61,37 @@ fn main() {
         ds.num_nodes(),
         mixq_params - fp32_params
     );
+
+    // With telemetry enabled, run a miniature end-to-end pipeline (training
+    // + bit-width search on the small synthetic Cora) so the emitted report
+    // carries kernel, training and search metrics alongside the table.
+    if mixq_telemetry::enabled() {
+        let small = cora_like(7);
+        let sbundle = NodeBundle::new(&small);
+        let sdims = [small.feat_dim(), 16, small.num_classes()];
+        let mut sps = ParamSet::new();
+        let mut srng = Rng::seed_from_u64(7);
+        let mut snet = GcnNet::new(&mut sps, &sdims, 0.5, &mut srng);
+        let cfg = TrainConfig {
+            epochs: 10,
+            patience: 10,
+            ..TrainConfig::default()
+        };
+        let rep = train_node(&mut snet, &mut sps, &small, &sbundle, &cfg);
+        let scfg = SearchConfig {
+            epochs: 8,
+            warmup: 3,
+            ..SearchConfig::default()
+        };
+        let assignment = search_gcn_bits(&small, &sbundle, &sdims, &[2, 4, 8], 0.5, &scfg);
+        println!(
+            "telemetry pipeline: train test-acc {:.1}%, searched avg bits {:.2}",
+            rep.test_metric * 100.0,
+            assignment.simple_avg()
+        );
+        match mixq_telemetry::write_report("table1") {
+            Ok(p) => println!("telemetry report written to {}", p.display()),
+            Err(e) => eprintln!("telemetry report failed: {e}"),
+        }
+    }
 }

@@ -310,7 +310,8 @@ fn train_fixed(
                 kind,
                 &train.degrees,
                 &mut rng,
-            );
+            )
+            .expect("assignment matches schema");
             train_graph(&mut net, &mut ps, train, test, cfg).1
         }
         GraphArch::Gcn => {
@@ -324,7 +325,8 @@ fn train_fixed(
                 kind,
                 &train.degrees,
                 &mut rng,
-            );
+            )
+            .expect("assignment matches schema");
             train_graph(&mut net, &mut ps, train, test, cfg).1
         }
     }

@@ -189,7 +189,8 @@ fn train_one_quantized(
                 &bundle.degrees,
                 exp.dropout,
                 &mut rng,
-            );
+            )
+            .expect("assignment matches schema");
             train_node(&mut net, &mut ps, ds, bundle, &cfg).test_metric
         }
         NodeArch::Sage => {
@@ -201,7 +202,8 @@ fn train_one_quantized(
                 &bundle.degrees,
                 exp.dropout,
                 &mut rng,
-            );
+            )
+            .expect("assignment matches schema");
             train_node(&mut net, &mut ps, ds, bundle, &cfg).test_metric
         }
     }

@@ -65,7 +65,8 @@ pub fn gcn_bit_sweep(
                     &bundle.degrees,
                     0.5,
                     &mut prng,
-                );
+                )
+                .expect("assignment matches schema");
                 accs.push(train_node(&mut net, &mut ps, ds, bundle, &cfg).test_metric);
             }
             let (acc, _) = mean_std(&accs);

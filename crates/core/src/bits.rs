@@ -8,7 +8,7 @@
 //! relaxed nets consume, so MixQ search output plugs directly into QAT
 //! retraining.
 
-use mixq_tensor::Rng;
+use mixq_tensor::{MixqError, MixqResult, Rng};
 
 /// Bit-widths for each named component of one architecture instance.
 ///
@@ -89,7 +89,8 @@ impl BitAssignment {
     }
 
     /// Parses the [`BitAssignment::to_text`] format.
-    pub fn from_text(s: &str) -> Result<Self, String> {
+    pub fn from_text(s: &str) -> MixqResult<Self> {
+        let err = |detail: String| MixqError::parse("bit assignment", detail);
         let mut names = Vec::new();
         let mut bits = Vec::new();
         for (lineno, line) in s.lines().enumerate() {
@@ -99,16 +100,16 @@ impl BitAssignment {
             }
             let (name, b) = line
                 .split_once('=')
-                .ok_or_else(|| format!("line {lineno}: missing '='"))?;
+                .ok_or_else(|| err(format!("line {lineno}: missing '='")))?;
             names.push(name.to_string());
             bits.push(
                 b.trim()
                     .parse::<u8>()
-                    .map_err(|e| format!("line {lineno}: bad bit-width: {e}"))?,
+                    .map_err(|e| err(format!("line {lineno}: bad bit-width: {e}")))?,
             );
         }
         if names.is_empty() {
-            return Err("empty assignment".into());
+            return Err(err("empty assignment".into()));
         }
         Ok(Self { names, bits })
     }

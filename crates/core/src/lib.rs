@@ -36,8 +36,8 @@ pub use observer::Observer;
 pub use qat::{FakeQuantizer, RangePolicy};
 pub use qinfer::{
     fixed_point_multiply, int_matmul_requant, quantize_csr_symmetric, quantize_multiplier,
-    GcnLayerSnapshot, GcnSnapshot, QTensor, QuantizedGcn, QuantizedSage, SageLayerSnapshot,
-    SageSnapshot,
+    GcnLayerSnapshot, GcnSnapshot, LayerBits, QTensor, QuantizedGcn, QuantizedModel, QuantizedSage,
+    SageLayerSnapshot, SageSnapshot,
 };
 pub use qnets::{
     gcn_cost_model, gcn_graph_cost_model, gin_graph_cost_model, quantize_adjacency,

@@ -9,7 +9,7 @@
 
 use mixq_nn::ParamSet;
 use mixq_sparse::{CsrMatrix, QuantCsr};
-use mixq_tensor::{Matrix, QuantParams};
+use mixq_tensor::{Matrix, MixqResult, QuantParams};
 
 use crate::theorem1::{quantized_spmm, QmpParams};
 
@@ -135,11 +135,80 @@ pub fn int_matmul_requant(
             }
         }
     });
+    if mixq_telemetry::enabled() {
+        mixq_telemetry::counter_add("qinfer.requant.calls", 1);
+        mixq_telemetry::counter_add("qinfer.requant.elems", out.len() as u64);
+    }
     QTensor {
         rows: x.rows,
         cols: w.cols,
         data: out,
         qp: out_qp,
+    }
+}
+
+/// Per-layer bit-width summary reported by [`QuantizedModel::bit_config`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerBits {
+    /// Weight bit-width (for SAGE: the root weight; both weights share it).
+    pub weight_bits: u8,
+    /// Activation bit-width of the layer's output quantizer.
+    pub activation_bits: u8,
+    /// Adjacency bit-width used for the Theorem 1 aggregation.
+    pub adj_bits: u8,
+}
+
+/// Common interface of the integer-only inference executors.
+///
+/// Both engines follow the same lifecycle: `prepare` freezes a trained
+/// snapshot into integer weights plus a quantized adjacency, `infer` runs
+/// the integer pipeline and dequantizes the logits, and `bit_config`
+/// reports the per-layer bit-widths actually executing. Benches, examples
+/// and tests route through this trait so GCN and GraphSAGE engines are
+/// interchangeable.
+pub trait QuantizedModel: Sized {
+    /// The exported training-time state this executor is built from.
+    type Snapshot;
+
+    /// Freezes `snapshot` into an integer executor bound to `adj` (the
+    /// model-specific normalized adjacency).
+    fn prepare(snapshot: &Self::Snapshot, adj: &CsrMatrix) -> Self;
+
+    /// Runs integer-only inference and returns dequantized logits.
+    fn infer(&self, features: &Matrix) -> Matrix;
+
+    /// Per-layer bit-widths of the frozen executor.
+    fn bit_config(&self) -> Vec<LayerBits>;
+}
+
+/// Theorem 1 sparse aggregation shared by both executors: wraps `h`'s codes
+/// through [`quantized_spmm`] (with `Z_a = 0` from symmetric adjacency
+/// quantization) and returns the result as a [`QTensor`] under `agg_qp`.
+fn aggregate_theorem1(
+    qadj: &QuantCsr,
+    adj_scale: f32,
+    h: &QTensor,
+    agg_qp: QuantParams,
+) -> QTensor {
+    let f = h.cols;
+    let p = QmpParams::per_tensor(
+        qadj.rows(),
+        f,
+        adj_scale,
+        0,
+        h.qp.scale,
+        h.qp.zero_point,
+        agg_qp.scale,
+        agg_qp.zero_point,
+        agg_qp.qmin,
+        agg_qp.qmax,
+    );
+    let data = quantized_spmm(qadj, &h.data, f, &p);
+    QTensor {
+        rows: qadj.rows(),
+        cols: f,
+        data,
+        qp: agg_qp,
     }
 }
 
@@ -205,37 +274,49 @@ impl QuantizedGcn {
 
     /// Runs integer inference and returns dequantized logits.
     pub fn infer(&self, features: &Matrix) -> Matrix {
+        let _span = mixq_telemetry::span("qinfer_gcn/infer");
         let mut x = QTensor::quantize(features, self.input_qp);
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
+            let t0 = mixq_telemetry::kernel_start();
             let h = int_matmul_requant(&x, &layer.wq, layer.bias.as_deref(), layer.lin_qp);
             // Sparse aggregation via Theorem 1 (Z_a = 0 by construction).
-            let f = h.cols;
-            let p = QmpParams::per_tensor(
-                layer.qadj.rows(),
-                f,
-                layer.adj_scale,
-                0,
-                h.qp.scale,
-                h.qp.zero_point,
-                layer.agg_qp.scale,
-                layer.agg_qp.zero_point,
-                layer.agg_qp.qmin,
-                layer.agg_qp.qmax,
-            );
-            let y = quantized_spmm(&layer.qadj, &h.data, f, &p);
-            let mut yt = QTensor {
-                rows: layer.qadj.rows(),
-                cols: f,
-                data: y,
-                qp: layer.agg_qp,
-            };
+            let mut yt = aggregate_theorem1(&layer.qadj, layer.adj_scale, &h, layer.agg_qp);
             if i < last {
                 yt.relu_inplace();
             }
+            mixq_telemetry::kernel_finish("qinfer.gcn.layer", t0, (yt.rows * yt.cols) as u64);
             x = yt;
         }
         x.dequantize()
+    }
+
+    /// Per-layer bit-widths of the frozen executor.
+    pub fn bit_config(&self) -> Vec<LayerBits> {
+        self.layers
+            .iter()
+            .map(|l| LayerBits {
+                weight_bits: l.wq.qp.bits,
+                activation_bits: l.agg_qp.bits,
+                adj_bits: l.qadj.bits(),
+            })
+            .collect()
+    }
+}
+
+impl QuantizedModel for QuantizedGcn {
+    type Snapshot = GcnSnapshot;
+
+    fn prepare(snapshot: &GcnSnapshot, adj: &CsrMatrix) -> Self {
+        QuantizedGcn::prepare(snapshot, adj)
+    }
+
+    fn infer(&self, features: &Matrix) -> Matrix {
+        QuantizedGcn::infer(self, features)
+    }
+
+    fn bit_config(&self) -> Vec<LayerBits> {
+        QuantizedGcn::bit_config(self)
     }
 }
 
@@ -254,7 +335,7 @@ pub fn quantize_csr_symmetric(a: &CsrMatrix, bits: u8) -> (QuantCsr, f32) {
 /// Exports a [`GcnSnapshot`] from a trained [`crate::QGcnNet`]'s quantizers
 /// and weights. Only native (per-tensor) quantizers are supported — the
 /// engine's scope matches the paper's integer execution path.
-pub fn snapshot_qgcn(net: &crate::QGcnNet, ps: &ParamSet) -> GcnSnapshot {
+pub fn snapshot_qgcn(net: &crate::QGcnNet, ps: &ParamSet) -> MixqResult<GcnSnapshot> {
     net.snapshot(ps)
 }
 
@@ -419,30 +500,13 @@ impl QuantizedSage {
 
     /// Runs integer inference and returns dequantized logits.
     pub fn infer(&self, features: &Matrix) -> Matrix {
+        let _span = mixq_telemetry::span("qinfer_sage/infer");
         let mut x = QTensor::quantize(features, self.input_qp);
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
+            let t0 = mixq_telemetry::kernel_start();
             // Neighbour mean aggregation (Theorem 1, Z_a = 0).
-            let f = x.cols;
-            let p = QmpParams::per_tensor(
-                layer.qadj.rows(),
-                f,
-                layer.adj_scale,
-                0,
-                x.qp.scale,
-                x.qp.zero_point,
-                layer.agg_qp.scale,
-                layer.agg_qp.zero_point,
-                layer.agg_qp.qmin,
-                layer.agg_qp.qmax,
-            );
-            let agg_codes = quantized_spmm(&layer.qadj, &x.data, f, &p);
-            let agg = QTensor {
-                rows: layer.qadj.rows(),
-                cols: f,
-                data: agg_codes,
-                qp: layer.agg_qp,
-            };
+            let agg = aggregate_theorem1(&layer.qadj, layer.adj_scale, &x, layer.agg_qp);
 
             // Both branches requantize directly into the output quantizer.
             let root = int_matmul_requant(&x, &layer.wr, layer.bias.as_deref(), layer.out_qp);
@@ -467,9 +531,38 @@ impl QuantizedSage {
             if i < last {
                 y.relu_inplace();
             }
+            mixq_telemetry::kernel_finish("qinfer.sage.layer", t0, (y.rows * y.cols) as u64);
             x = y;
         }
         x.dequantize()
+    }
+
+    /// Per-layer bit-widths of the frozen executor.
+    pub fn bit_config(&self) -> Vec<LayerBits> {
+        self.layers
+            .iter()
+            .map(|l| LayerBits {
+                weight_bits: l.wr.qp.bits,
+                activation_bits: l.out_qp.bits,
+                adj_bits: l.qadj.bits(),
+            })
+            .collect()
+    }
+}
+
+impl QuantizedModel for QuantizedSage {
+    type Snapshot = SageSnapshot;
+
+    fn prepare(snapshot: &SageSnapshot, adj: &CsrMatrix) -> Self {
+        QuantizedSage::prepare(snapshot, adj)
+    }
+
+    fn infer(&self, features: &Matrix) -> Matrix {
+        QuantizedSage::infer(self, features)
+    }
+
+    fn bit_config(&self) -> Vec<LayerBits> {
+        QuantizedSage::bit_config(self)
     }
 }
 

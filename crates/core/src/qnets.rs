@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use mixq_nn::{Fwd, GraphBundle, GraphNet, Linear, Mlp, NodeBundle, NodeNet, ParamSet};
 use mixq_sparse::CsrMatrix;
-use mixq_tensor::{Matrix, QuantParams, Rng, SpPair, Var};
+use mixq_tensor::{Matrix, MixqError, MixqResult, QuantParams, Rng, SpPair, Var};
 
 use crate::bits::{gcn_graph_schema, gcn_schema, gin_graph_schema, sage_schema, BitAssignment};
 use crate::cost::CostModel;
@@ -75,6 +75,22 @@ pub(crate) fn qlinear(f: &mut Fwd, lin: &Linear, qw: &mut FakeQuantizer, x: Var)
     h
 }
 
+/// Extracts the per-tensor quantization parameters of a native quantizer,
+/// or explains why the integer engine cannot execute this component.
+fn native_qparams(context: &'static str, q: &NodeQuant) -> MixqResult<QuantParams> {
+    match q {
+        NodeQuant::Native(fq) if !fq.is_identity() => Ok(fq.qparams()),
+        NodeQuant::Native(_) => Err(MixqError::config(
+            context,
+            "integer inference needs bits < 32",
+        )),
+        _ => Err(MixqError::config(
+            context,
+            "integer inference supports native quantizers only",
+        )),
+    }
+}
+
 // ---- quantized GCN ----------------------------------------------------------
 
 struct QGcnLayer {
@@ -107,13 +123,14 @@ impl QGcnNet {
         degrees: &[usize],
         dropout: f32,
         rng: &mut Rng,
-    ) -> Self {
+    ) -> MixqResult<Self> {
         let nlayers = dims.len() - 1;
-        assert_eq!(
-            assignment.names,
-            gcn_schema(nlayers),
-            "assignment/schema mismatch"
-        );
+        if assignment.names != gcn_schema(nlayers) {
+            return Err(MixqError::config(
+                "QGcnNet::new",
+                format!("assignment does not follow gcn_schema({nlayers})"),
+            ));
+        }
         let q_input = kind.make(assignment.get("input"), degrees, ps);
         let layers = (0..nlayers)
             .map(|l| QGcnLayer {
@@ -125,13 +142,13 @@ impl QGcnNet {
                 adj: AdjCache::default(),
             })
             .collect();
-        Self {
+        Ok(Self {
             assignment,
             dims: dims.to_vec(),
             q_input,
             layers,
             dropout,
-        }
+        })
     }
 
     /// Cost model for a graph with `n` nodes and `nnz` (normalized)
@@ -141,32 +158,25 @@ impl QGcnNet {
     }
 
     /// Exports the trained quantization parameters and weights for the
-    /// integer inference engine (Fig. 5(iv)). Requires native quantizers on
-    /// every component and all bit-widths < 32.
-    pub fn snapshot(&self, ps: &ParamSet) -> crate::qinfer::GcnSnapshot {
-        fn native(q: &NodeQuant) -> mixq_tensor::QuantParams {
-            match q {
-                NodeQuant::Native(fq) => {
-                    assert!(!fq.is_identity(), "integer inference needs bits < 32");
-                    fq.qparams()
-                }
-                _ => panic!("integer inference supports native quantizers only"),
-            }
-        }
-        let input_qp = native(&self.q_input);
+    /// integer inference engine (Fig. 5(iv)). Fails unless every component
+    /// uses a native quantizer with bit-width < 32.
+    pub fn snapshot(&self, ps: &ParamSet) -> MixqResult<crate::qinfer::GcnSnapshot> {
+        let input_qp = native_qparams("QGcnNet::snapshot", &self.q_input)?;
         let layers = self
             .layers
             .iter()
-            .map(|l| crate::qinfer::GcnLayerSnapshot {
-                weight: ps.value(l.lin.w).clone(),
-                bias: l.lin.b.map(|b| ps.value(b).data().to_vec()),
-                w_qp: l.q_w.qparams(),
-                lin_qp: native(&l.q_lin_out),
-                agg_qp: native(&l.q_agg_out),
-                adj_bits: l.adj_bits,
+            .map(|l| {
+                Ok(crate::qinfer::GcnLayerSnapshot {
+                    weight: ps.value(l.lin.w).clone(),
+                    bias: l.lin.b.map(|b| ps.value(b).data().to_vec()),
+                    w_qp: l.q_w.qparams(),
+                    lin_qp: native_qparams("QGcnNet::snapshot", &l.q_lin_out)?,
+                    agg_qp: native_qparams("QGcnNet::snapshot", &l.q_agg_out)?,
+                    adj_bits: l.adj_bits,
+                })
             })
-            .collect();
-        crate::qinfer::GcnSnapshot { input_qp, layers }
+            .collect::<MixqResult<_>>()?;
+        Ok(crate::qinfer::GcnSnapshot { input_qp, layers })
     }
 }
 
@@ -260,13 +270,14 @@ impl QSageNet {
         degrees: &[usize],
         dropout: f32,
         rng: &mut Rng,
-    ) -> Self {
+    ) -> MixqResult<Self> {
         let nlayers = dims.len() - 1;
-        assert_eq!(
-            assignment.names,
-            sage_schema(nlayers),
-            "assignment/schema mismatch"
-        );
+        if assignment.names != sage_schema(nlayers) {
+            return Err(MixqError::config(
+                "QSageNet::new",
+                format!("assignment does not follow sage_schema({nlayers})"),
+            ));
+        }
         let q_input = kind.make(assignment.get("input"), degrees, ps);
         let layers = (0..nlayers)
             .map(|l| QSageLayer {
@@ -280,13 +291,13 @@ impl QSageNet {
                 adj: AdjCache::default(),
             })
             .collect();
-        Self {
+        Ok(Self {
             assignment,
             dims: dims.to_vec(),
             q_input,
             layers,
             dropout,
-        }
+        })
     }
 
     pub fn cost_model(&self, n: u64, nnz: u64) -> CostModel {
@@ -294,34 +305,27 @@ impl QSageNet {
     }
 
     /// Exports the trained quantization parameters and weights for the
-    /// integer inference engine. Requires native quantizers on every
-    /// component and all bit-widths < 32.
-    pub fn snapshot(&self, ps: &ParamSet) -> crate::qinfer::SageSnapshot {
-        fn native(q: &NodeQuant) -> mixq_tensor::QuantParams {
-            match q {
-                NodeQuant::Native(fq) => {
-                    assert!(!fq.is_identity(), "integer inference needs bits < 32");
-                    fq.qparams()
-                }
-                _ => panic!("integer inference supports native quantizers only"),
-            }
-        }
-        let input_qp = native(&self.q_input);
+    /// integer inference engine. Fails unless every component uses a native
+    /// quantizer with bit-width < 32.
+    pub fn snapshot(&self, ps: &ParamSet) -> MixqResult<crate::qinfer::SageSnapshot> {
+        let input_qp = native_qparams("QSageNet::snapshot", &self.q_input)?;
         let layers = self
             .layers
             .iter()
-            .map(|l| crate::qinfer::SageLayerSnapshot {
-                w_root: ps.value(l.lin_root.w).clone(),
-                bias: l.lin_root.b.map(|b| ps.value(b).data().to_vec()),
-                w_neigh: ps.value(l.lin_neigh.w).clone(),
-                w_root_qp: l.q_w_root.qparams(),
-                w_neigh_qp: l.q_w_neigh.qparams(),
-                agg_qp: native(&l.q_agg),
-                out_qp: native(&l.q_out),
-                adj_bits: l.adj_bits,
+            .map(|l| {
+                Ok(crate::qinfer::SageLayerSnapshot {
+                    w_root: ps.value(l.lin_root.w).clone(),
+                    bias: l.lin_root.b.map(|b| ps.value(b).data().to_vec()),
+                    w_neigh: ps.value(l.lin_neigh.w).clone(),
+                    w_root_qp: l.q_w_root.qparams(),
+                    w_neigh_qp: l.q_w_neigh.qparams(),
+                    agg_qp: native_qparams("QSageNet::snapshot", &l.q_agg)?,
+                    out_qp: native_qparams("QSageNet::snapshot", &l.q_out)?,
+                    adj_bits: l.adj_bits,
+                })
             })
-            .collect();
-        crate::qinfer::SageSnapshot { input_qp, layers }
+            .collect::<MixqResult<_>>()?;
+        Ok(crate::qinfer::SageSnapshot { input_qp, layers })
     }
 }
 
@@ -441,12 +445,13 @@ impl QGinGraphNet {
         kind: QuantKind,
         degrees: &[usize],
         rng: &mut Rng,
-    ) -> Self {
-        assert_eq!(
-            assignment.names,
-            gin_graph_schema(nlayers),
-            "assignment/schema mismatch"
-        );
+    ) -> MixqResult<Self> {
+        if assignment.names != gin_graph_schema(nlayers) {
+            return Err(MixqError::config(
+                "QGinGraphNet::new",
+                format!("assignment does not follow gin_graph_schema({nlayers})"),
+            ));
+        }
         let q_input = kind.make(assignment.get("input"), degrees, ps);
         let layers = (0..nlayers)
             .map(|l| {
@@ -463,7 +468,7 @@ impl QGinGraphNet {
                 }
             })
             .collect();
-        Self {
+        Ok(Self {
             q_head_w1: FakeQuantizer::new(assignment.get("head.w1"), false),
             q_head_h1: kind.make(assignment.get("head.h1"), degrees, ps),
             q_head_w2: FakeQuantizer::new(assignment.get("head.w2"), false),
@@ -477,7 +482,7 @@ impl QGinGraphNet {
             head1: Linear::new(ps, hidden, hidden, rng),
             head2: Linear::new(ps, hidden, classes, rng),
             dropout: 0.3,
-        }
+        })
     }
 
     pub fn cost_model(&self, n: u64, nnz: u64, num_graphs: u64) -> CostModel {
@@ -626,12 +631,13 @@ impl QGcnGraphNet {
         kind: QuantKind,
         degrees: &[usize],
         rng: &mut Rng,
-    ) -> Self {
-        assert_eq!(
-            assignment.names,
-            gcn_graph_schema(nlayers),
-            "assignment/schema mismatch"
-        );
+    ) -> MixqResult<Self> {
+        if assignment.names != gcn_graph_schema(nlayers) {
+            return Err(MixqError::config(
+                "QGcnGraphNet::new",
+                format!("assignment does not follow gcn_graph_schema({nlayers})"),
+            ));
+        }
         let q_input = kind.make(assignment.get("input"), degrees, ps);
         let layers = (0..nlayers)
             .map(|l| {
@@ -646,7 +652,7 @@ impl QGcnGraphNet {
                 }
             })
             .collect();
-        Self {
+        Ok(Self {
             q_head_w: FakeQuantizer::new(assignment.get("head.w"), false),
             q_head_out: kind.make(assignment.get("head.out"), degrees, ps),
             assignment,
@@ -656,7 +662,7 @@ impl QGcnGraphNet {
             q_input,
             layers,
             head: Linear::new(ps, hidden, classes, rng),
-        }
+        })
     }
 
     pub fn cost_model(&self, n: u64, nnz: u64, num_graphs: u64) -> CostModel {

@@ -7,7 +7,7 @@
 
 use mixq_graph::{NodeDataset, NodeTargets};
 use mixq_nn::{Adam, Binding, Fwd, GraphBundle, NodeBundle, ParamId, ParamSet};
-use mixq_tensor::{Rng, Tape, Var};
+use mixq_tensor::{softmax_slice, Rng, Tape, Var};
 
 use crate::bits::BitAssignment;
 use crate::relaxed::{RelaxedGcnGraphNet, RelaxedGcnNet, RelaxedGinGraphNet, RelaxedSageNet};
@@ -62,6 +62,7 @@ fn train_relaxed(
     let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut opt = Adam::new(cfg.lr);
     for epoch in 0..cfg.epochs {
+        let _epoch_span = mixq_telemetry::span("search/epoch");
         // ---- Θ step on the training loss (α frozen) ----
         ps.zero_grads();
         let mut tape = Tape::new();
@@ -104,6 +105,14 @@ fn train_relaxed(
             // The 0.15 factor calibrates λ's useful range to the paper's
             // reported [−0.1, 1] interval (see Fig. 9 reproduction).
             let norm = 0.02 * cfg.lambda * (1024.0 * 8.0) / total_elems.max(1) as f32;
+            if mixq_telemetry::enabled() {
+                // The λ·ΣC(T) penalty actually added to the α objective.
+                let penalty: f64 = pens
+                    .iter()
+                    .map(|&(p, _)| tape.value(p).item() as f64 * norm as f64)
+                    .sum();
+                mixq_telemetry::series_push("search.penalty", penalty);
+            }
             let mut total = loss;
             for (p, _) in pens {
                 let sp = tape.scale(p, norm);
@@ -118,7 +127,37 @@ fn train_relaxed(
             }
             opt.step(ps);
         }
+
+        if mixq_telemetry::enabled() && !alpha_ids.is_empty() {
+            // Mean Shannon entropy of the α softmax distributions: high at
+            // initialization (uniform over bit choices), dropping as the
+            // search commits to bit-widths.
+            let mut entropy = 0.0f64;
+            for &id in alpha_ids {
+                let probs = softmax_slice(ps.value(id).data());
+                entropy -= probs
+                    .iter()
+                    .filter(|&&p| p > 0.0)
+                    .map(|&p| p as f64 * (p as f64).ln())
+                    .sum::<f64>();
+            }
+            mixq_telemetry::series_push("search.alpha_entropy", entropy / alpha_ids.len() as f64);
+        }
     }
+}
+
+/// Records the outcome of a bit-width search: one `search.bits` histogram
+/// entry per component plus a counter of completed searches (no-op while
+/// telemetry is disabled).
+fn record_search_outcome(a: &BitAssignment) {
+    if !mixq_telemetry::enabled() {
+        return;
+    }
+    for &b in &a.bits {
+        mixq_telemetry::hist_record("search.bits", b as u64);
+    }
+    mixq_telemetry::counter_add("search.completed", 1);
+    mixq_telemetry::gauge_set("search.avg_bits", a.simple_avg());
 }
 
 /// Builds the task loss for a node dataset on an open tape, over the
@@ -169,7 +208,9 @@ pub fn search_gcn_bits(
         let loss = node_task_loss(f.tape, logits, ds, val);
         (loss, pens)
     });
-    net.extract(&ps)
+    let assignment = net.extract(&ps);
+    record_search_outcome(&assignment);
+    assignment
 }
 
 /// Searches bit-widths for a multi-layer GraphSAGE on a node dataset.
@@ -191,7 +232,9 @@ pub fn search_sage_bits(
         let loss = node_task_loss(f.tape, logits, ds, val);
         (loss, pens)
     });
-    net.extract(&ps)
+    let assignment = net.extract(&ps);
+    record_search_outcome(&assignment);
+    assignment
 }
 
 /// Searches bit-widths for the GIN graph classifier on a training batch.
@@ -230,7 +273,9 @@ pub fn search_gin_graph_bits(
         let loss = f.tape.nll_masked(lp, rows, targets);
         (loss, pens)
     });
-    net.extract(&ps)
+    let assignment = net.extract(&ps);
+    record_search_outcome(&assignment);
+    assignment
 }
 
 /// Searches bit-widths for the GCN graph classifier (CSL's architecture).
@@ -269,7 +314,9 @@ pub fn search_gcn_graph_bits(
         let loss = f.tape.nll_masked(lp, rows, targets);
         (loss, pens)
     });
-    net.extract(&ps)
+    let assignment = net.extract(&ps);
+    record_search_outcome(&assignment);
+    assignment
 }
 
 #[cfg(test)]

@@ -13,15 +13,16 @@
 //!
 //! Node table: one row per node — `label` followed by `f` feature values.
 
-use std::io::{self, Write};
+use std::io::Write;
 use std::path::Path;
 
 use mixq_sparse::{CooEntry, CsrMatrix};
-use mixq_tensor::Matrix;
+use mixq_tensor::{Matrix, MixqError, MixqResult};
 
 /// Parses an edge list into a (directed) adjacency; `num_nodes` must bound
 /// every endpoint. Duplicate edges sum their weights.
-pub fn parse_edge_list(text: &str, num_nodes: usize) -> Result<CsrMatrix, String> {
+pub fn parse_edge_list(text: &str, num_nodes: usize) -> MixqResult<CsrMatrix> {
+    let err = |detail: String| MixqError::parse("edge list", detail);
     let mut entries = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
@@ -32,22 +33,22 @@ pub fn parse_edge_list(text: &str, num_nodes: usize) -> Result<CsrMatrix, String
         let src: usize = it
             .next()
             .and_then(|v| v.parse().ok())
-            .ok_or_else(|| format!("line {}: bad source node", lineno + 1))?;
+            .ok_or_else(|| err(format!("line {}: bad source node", lineno + 1)))?;
         let dst: usize = it
             .next()
             .and_then(|v| v.parse().ok())
-            .ok_or_else(|| format!("line {}: bad destination node", lineno + 1))?;
+            .ok_or_else(|| err(format!("line {}: bad destination node", lineno + 1)))?;
         let w: f32 = match it.next() {
             Some(v) => v
                 .parse()
-                .map_err(|e| format!("line {}: bad weight: {e}", lineno + 1))?,
+                .map_err(|e| err(format!("line {}: bad weight: {e}", lineno + 1)))?,
             None => 1.0,
         };
         if src >= num_nodes || dst >= num_nodes {
-            return Err(format!(
+            return Err(err(format!(
                 "line {}: node id out of range (n={num_nodes})",
                 lineno + 1
-            ));
+            )));
         }
         entries.push(CooEntry {
             row: src,
@@ -75,7 +76,8 @@ pub fn edge_list_to_string(adj: &CsrMatrix) -> String {
 
 /// Parses a node table: each non-comment line is `label f0 f1 …`.
 /// Returns `(labels, features)`; every row must have the same feature count.
-pub fn parse_node_table(text: &str) -> Result<(Vec<usize>, Matrix), String> {
+pub fn parse_node_table(text: &str) -> MixqResult<(Vec<usize>, Matrix)> {
+    let err = |detail: String| MixqError::parse("node table", detail);
     let mut labels = Vec::new();
     let mut rows: Vec<Vec<f32>> = Vec::new();
     let mut width: Option<usize> = None;
@@ -88,21 +90,21 @@ pub fn parse_node_table(text: &str) -> Result<(Vec<usize>, Matrix), String> {
         let label: usize = it
             .next()
             .and_then(|v| v.parse().ok())
-            .ok_or_else(|| format!("line {}: bad label", lineno + 1))?;
+            .ok_or_else(|| err(format!("line {}: bad label", lineno + 1)))?;
         let feats: Vec<f32> = it
             .map(|v| {
                 v.parse::<f32>()
-                    .map_err(|e| format!("line {}: bad feature: {e}", lineno + 1))
+                    .map_err(|e| err(format!("line {}: bad feature: {e}", lineno + 1)))
             })
             .collect::<Result<_, _>>()?;
         match width {
             None => width = Some(feats.len()),
             Some(w) if w != feats.len() => {
-                return Err(format!(
+                return Err(err(format!(
                     "line {}: expected {w} features, found {}",
                     lineno + 1,
                     feats.len()
-                ))
+                )))
             }
             _ => {}
         }
@@ -110,7 +112,7 @@ pub fn parse_node_table(text: &str) -> Result<(Vec<usize>, Matrix), String> {
         rows.push(feats);
     }
     if rows.is_empty() {
-        return Err("empty node table".into());
+        return Err(err("empty node table".into()));
     }
     let f = width.unwrap();
     let data: Vec<f32> = rows.into_iter().flatten().collect();
@@ -132,14 +134,15 @@ pub fn node_table_to_string(labels: &[usize], features: &Matrix) -> String {
 }
 
 /// Loads an edge-list file.
-pub fn load_edge_list(path: impl AsRef<Path>, num_nodes: usize) -> io::Result<CsrMatrix> {
+pub fn load_edge_list(path: impl AsRef<Path>, num_nodes: usize) -> MixqResult<CsrMatrix> {
     let text = std::fs::read_to_string(path)?;
-    parse_edge_list(&text, num_nodes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    parse_edge_list(&text, num_nodes)
 }
 
 /// Saves an adjacency as an edge-list file.
-pub fn save_edge_list(adj: &CsrMatrix, path: impl AsRef<Path>) -> io::Result<()> {
-    std::fs::File::create(path)?.write_all(edge_list_to_string(adj).as_bytes())
+pub fn save_edge_list(adj: &CsrMatrix, path: impl AsRef<Path>) -> MixqResult<()> {
+    std::fs::File::create(path)?.write_all(edge_list_to_string(adj).as_bytes())?;
+    Ok(())
 }
 
 #[cfg(test)]

@@ -23,7 +23,7 @@ pub use metrics::{
 pub use models::{
     eval_graph, eval_node, train_graph, train_node, AppnpNet, GatNet, GcnGraphNet, GcnNet,
     GinGraphNet, GinNet, GraphBundle, GraphNet, NodeBundle, NodeNet, SageNet, SgcNet, TagNet,
-    TrainConfig, TrainReport, UniMpNet,
+    TrainConfig, TrainConfigBuilder, TrainReport, UniMpNet,
 };
 pub use optim::{clip_grad_norm, Adam, LrSchedule, Sgd};
 pub use param::{Binding, Fwd, Param, ParamId, ParamSet};

@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use mixq_graph::{batch_graphs, GraphDataset, NodeDataset, NodeTargets};
 use mixq_sparse::{gcn_normalize, row_normalize};
-use mixq_tensor::{Matrix, Rng, SpPair, Tape, Var};
+use mixq_tensor::{Matrix, MixqError, MixqResult, Rng, SpPair, Tape, Var};
 
 use crate::conv::{
     AppnpProp, GatConv, GcnConv, GinConv, SageConv, SgcConv, TagConv, TransformerConv,
@@ -512,6 +512,77 @@ impl Default for TrainConfig {
     }
 }
 
+impl TrainConfig {
+    /// Starts a validated builder pre-loaded with the defaults. Literal
+    /// struct construction keeps working; the builder is for callers that
+    /// assemble configs from user input and want range checks.
+    pub fn builder() -> TrainConfigBuilder {
+        TrainConfigBuilder {
+            cfg: TrainConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`TrainConfig`] whose [`TrainConfigBuilder::build`] rejects
+/// out-of-range hyper-parameters instead of training with them.
+#[derive(Debug, Clone)]
+pub struct TrainConfigBuilder {
+    cfg: TrainConfig,
+}
+
+impl TrainConfigBuilder {
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.cfg.epochs = epochs;
+        self
+    }
+
+    pub fn lr(mut self, lr: f32) -> Self {
+        self.cfg.lr = lr;
+        self
+    }
+
+    pub fn weight_decay(mut self, weight_decay: f32) -> Self {
+        self.cfg.weight_decay = weight_decay;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Early-stopping patience in epochs (0 disables early stopping).
+    pub fn patience(mut self, patience: usize) -> Self {
+        self.cfg.patience = patience;
+        self
+    }
+
+    /// Validates the assembled configuration: at least one epoch, a finite
+    /// learning rate in `(0, 1]`, and a finite non-negative weight decay.
+    pub fn build(self) -> MixqResult<TrainConfig> {
+        let c = &self.cfg;
+        if c.epochs == 0 {
+            return Err(MixqError::config("TrainConfig", "epochs must be >= 1"));
+        }
+        if !c.lr.is_finite() || c.lr <= 0.0 || c.lr > 1.0 {
+            return Err(MixqError::config(
+                "TrainConfig",
+                format!("lr must be in (0, 1], got {}", c.lr),
+            ));
+        }
+        if !c.weight_decay.is_finite() || c.weight_decay < 0.0 {
+            return Err(MixqError::config(
+                "TrainConfig",
+                format!(
+                    "weight_decay must be finite and >= 0, got {}",
+                    c.weight_decay
+                ),
+            ));
+        }
+        Ok(self.cfg)
+    }
+}
+
 #[derive(Debug, Clone)]
 pub struct TrainReport {
     pub best_val: f64,
@@ -538,6 +609,7 @@ pub fn train_node<M: NodeNet>(
     let mut last_loss = f64::NAN;
 
     for epoch in 0..cfg.epochs {
+        let _epoch_span = mixq_telemetry::span("train_node/epoch");
         ps.zero_grads();
         let mut tape = Tape::new();
         let mut binding = Binding::new();
@@ -561,9 +633,16 @@ pub fn train_node<M: NodeNet>(
         last_loss = tape.value(loss).item() as f64;
         tape.backward(loss);
         ps.pull_grads(&binding, &tape);
+
+        if mixq_telemetry::enabled() {
+            mixq_telemetry::series_push("train.loss", last_loss);
+            mixq_telemetry::series_push("train.lr", cfg.lr as f64);
+            mixq_telemetry::series_push("train.grad_norm", ps.grad_norm());
+        }
         opt.step(ps);
 
         let val = eval_node(model, ps, ds, bundle, &ds.val_idx, &mut rng);
+        mixq_telemetry::series_push("train.val_metric", val);
         if val > best_val {
             best_val = val;
             best_epoch = epoch;
@@ -621,6 +700,7 @@ pub fn train_graph<M: GraphNet>(
     let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
     let rows: Vec<usize> = (0..train.num_graphs()).collect();
     for _ in 0..cfg.epochs {
+        let _epoch_span = mixq_telemetry::span("train_graph/epoch");
         ps.zero_grads();
         let mut tape = Tape::new();
         let mut binding = Binding::new();
@@ -637,10 +717,19 @@ pub fn train_graph<M: GraphNet>(
         let loss = tape.nll_masked(lp, &rows, &train.labels);
         tape.backward(loss);
         ps.pull_grads(&binding, &tape);
+        if mixq_telemetry::enabled() {
+            mixq_telemetry::series_push("train_graph.loss", tape.value(loss).item() as f64);
+            mixq_telemetry::series_push("train_graph.lr", cfg.lr as f64);
+            mixq_telemetry::series_push("train_graph.grad_norm", ps.grad_norm());
+        }
         opt.step(ps);
     }
     let train_acc = eval_graph(model, ps, train, &mut rng);
     let test_acc = eval_graph(model, ps, test, &mut rng);
+    if mixq_telemetry::enabled() {
+        mixq_telemetry::gauge_set("train_graph.train_accuracy", train_acc);
+        mixq_telemetry::gauge_set("train_graph.test_accuracy", test_acc);
+    }
     (train_acc, test_acc)
 }
 

@@ -79,6 +79,18 @@ impl ParamSet {
         self.params.iter().map(|p| p.value.numel()).sum()
     }
 
+    /// Global L2 norm of all gradient buffers (√ Σᵢ gᵢ²), accumulated in
+    /// `f64` so it is stable across parameter orderings. Used by the
+    /// training telemetry; call after [`ParamSet::pull_grads`].
+    pub fn grad_norm(&self) -> f64 {
+        self.params
+            .iter()
+            .flat_map(|p| p.grad.data().iter())
+            .map(|&g| g as f64 * g as f64)
+            .sum::<f64>()
+            .sqrt()
+    }
+
     /// Zeroes the gradient of one parameter (used to freeze it for a step).
     pub fn grad_zero(&mut self, id: ParamId) {
         self.params[id.0].grad.data_mut().fill(0.0);

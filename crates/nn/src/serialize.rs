@@ -13,10 +13,10 @@
 //! ```
 
 use std::fmt::Write as _;
-use std::io::{self, Read, Write};
+use std::io::{Read, Write};
 use std::path::Path;
 
-use mixq_tensor::Matrix;
+use mixq_tensor::{Matrix, MixqError, MixqResult};
 
 use crate::param::ParamSet;
 
@@ -43,48 +43,50 @@ pub fn params_to_string(ps: &ParamSet) -> String {
 }
 
 /// Parses a checkpoint produced by [`params_to_string`].
-pub fn params_from_string(s: &str) -> Result<ParamSet, String> {
+pub fn params_from_string(s: &str) -> MixqResult<ParamSet> {
+    const KIND: &str = "mixq-params checkpoint";
+    let err = |detail: String| MixqError::parse(KIND, detail);
     let mut lines = s.lines();
-    let header = lines.next().ok_or("empty checkpoint")?;
+    let header = lines.next().ok_or_else(|| err("empty checkpoint".into()))?;
     if header != "mixq-params v1" {
-        return Err(format!("unsupported checkpoint header: {header}"));
+        return Err(err(format!("unsupported checkpoint header: {header}")));
     }
     let count: usize = lines
         .next()
-        .ok_or("missing parameter count")?
+        .ok_or_else(|| err("missing parameter count".into()))?
         .trim()
         .parse()
-        .map_err(|e| format!("bad parameter count: {e}"))?;
+        .map_err(|e| err(format!("bad parameter count: {e}")))?;
     let mut ps = ParamSet::new();
     for i in 0..count {
         let shape = lines
             .next()
-            .ok_or_else(|| format!("missing shape of param {i}"))?;
+            .ok_or_else(|| err(format!("missing shape of param {i}")))?;
         let mut it = shape.split_whitespace();
         let rows: usize = it
             .next()
             .and_then(|v| v.parse().ok())
-            .ok_or_else(|| format!("bad rows of param {i}"))?;
+            .ok_or_else(|| err(format!("bad rows of param {i}")))?;
         let cols: usize = it
             .next()
             .and_then(|v| v.parse().ok())
-            .ok_or_else(|| format!("bad cols of param {i}"))?;
+            .ok_or_else(|| err(format!("bad cols of param {i}")))?;
         let data_line = lines
             .next()
-            .ok_or_else(|| format!("missing data of param {i}"))?;
+            .ok_or_else(|| err(format!("missing data of param {i}")))?;
         let data: Vec<f32> = data_line
             .split_whitespace()
             .map(|v| {
                 v.parse::<f32>()
-                    .map_err(|e| format!("bad value in param {i}: {e}"))
+                    .map_err(|e| err(format!("bad value in param {i}: {e}")))
             })
             .collect::<Result<_, _>>()?;
         if data.len() != rows * cols {
-            return Err(format!(
+            return Err(err(format!(
                 "param {i}: expected {} values, found {}",
                 rows * cols,
                 data.len()
-            ));
+            )));
         }
         ps.add(Matrix::from_vec(rows, cols, data));
     }
@@ -92,16 +94,17 @@ pub fn params_from_string(s: &str) -> Result<ParamSet, String> {
 }
 
 /// Writes a checkpoint file.
-pub fn save_params(ps: &ParamSet, path: impl AsRef<Path>) -> io::Result<()> {
+pub fn save_params(ps: &ParamSet, path: impl AsRef<Path>) -> MixqResult<()> {
     let mut f = std::fs::File::create(path)?;
-    f.write_all(params_to_string(ps).as_bytes())
+    f.write_all(params_to_string(ps).as_bytes())?;
+    Ok(())
 }
 
 /// Reads a checkpoint file.
-pub fn load_params(path: impl AsRef<Path>) -> io::Result<ParamSet> {
+pub fn load_params(path: impl AsRef<Path>) -> MixqResult<ParamSet> {
     let mut s = String::new();
     std::fs::File::open(path)?.read_to_string(&mut s)?;
-    params_from_string(&s).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    params_from_string(&s)
 }
 
 #[cfg(test)]

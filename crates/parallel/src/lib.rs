@@ -118,11 +118,33 @@ pub fn par_row_chunks_mut<T: Send>(
         rows * width,
         "output buffer must be rows × width"
     );
+    let telemetry = mixq_telemetry::enabled();
     let t = num_threads().min(rows.max(1));
     if t <= 1 || rows < parallel_row_threshold().max(2) {
+        if telemetry {
+            mixq_telemetry::counter_add("parallel.serial_calls", 1);
+        }
         f(0, out);
         return;
     }
+    if telemetry {
+        mixq_telemetry::counter_add("parallel.par_calls", 1);
+        mixq_telemetry::counter_add("parallel.threads_used", t as u64);
+    }
+    // Per-thread utilization: sum of per-chunk busy time over wall × threads.
+    // Only measured when telemetry is on; otherwise the closure wrapper is a
+    // single never-taken branch per chunk.
+    let busy_ns = std::sync::atomic::AtomicU64::new(0);
+    let run = |start: usize, chunk: &mut [T]| {
+        if telemetry {
+            let t0 = std::time::Instant::now();
+            f(start, chunk);
+            busy_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        } else {
+            f(start, chunk);
+        }
+    };
+    let wall = std::time::Instant::now();
     let bounds = range_bounds(rows, t);
     std::thread::scope(|s| {
         let mut rest = out;
@@ -132,11 +154,21 @@ pub fn par_row_chunks_mut<T: Send>(
             let (chunk, tail) = rest.split_at_mut((w[1] - w[0]) * width);
             rest = tail;
             let start = w[0];
-            let f = &f;
-            s.spawn(move || f(start, chunk));
+            let run = &run;
+            s.spawn(move || run(start, chunk));
         }
-        f(bounds[t - 1], rest);
+        run(bounds[t - 1], rest);
     });
+    if telemetry {
+        let wall_ns = wall.elapsed().as_nanos() as u64;
+        let busy = busy_ns.into_inner();
+        let ideal = wall_ns.saturating_mul(t as u64);
+        mixq_telemetry::counter_add("parallel.busy_ns", busy);
+        mixq_telemetry::counter_add("parallel.ideal_ns", ideal);
+        if ideal > 0 {
+            mixq_telemetry::gauge_set("parallel.last_utilization", busy as f64 / ideal as f64);
+        }
+    }
 }
 
 /// Element-wise `dst[i] = f(src[i])`, parallelized over contiguous chunks
@@ -251,6 +283,33 @@ mod tests {
         par_row_chunks_mut(&mut one, 1, 5, |start, chunk| {
             assert_eq!((start, chunk.len()), (0, 5));
         });
+
+        // Telemetry (also process-wide, so it lives in this same test):
+        // a parallel call records busy/ideal time, a serial call does not.
+        mixq_telemetry::set_enabled(true);
+        mixq_telemetry::reset();
+        set_num_threads(4);
+        set_parallel_row_threshold(0);
+        let mut out = vec![0u64; 64];
+        par_row_chunks_mut(&mut out, 64, 1, |start, chunk| {
+            chunk[0] = start as u64;
+        });
+        set_parallel_row_threshold(1000);
+        par_row_chunks_mut(&mut out, 64, 1, |_, _| {});
+        let rep = mixq_telemetry::snapshot();
+        let counter = |n: &str| {
+            rep.counters
+                .iter()
+                .find(|(k, _)| k == n)
+                .map(|&(_, v)| v)
+                .unwrap_or(0)
+        };
+        assert_eq!(counter("parallel.par_calls"), 1);
+        assert_eq!(counter("parallel.serial_calls"), 1);
+        assert_eq!(counter("parallel.threads_used"), 4);
+        assert!(counter("parallel.ideal_ns") >= counter("parallel.busy_ns") / 4);
+        mixq_telemetry::reset();
+        mixq_telemetry::set_enabled(false);
 
         set_num_threads(saved.0);
         set_parallel_row_threshold(saved.1);

@@ -291,6 +291,7 @@ impl CsrMatrix {
     pub fn spmm_into(&self, x: &[f32], x_cols: usize, y: &mut [f32]) {
         assert_eq!(x.len(), self.cols * x_cols);
         assert_eq!(y.len(), self.rows * x_cols);
+        let t0 = mixq_telemetry::kernel_start();
         par_row_chunks_mut(y, self.rows, x_cols, |start, chunk| {
             for (dr, out) in chunk.chunks_mut(x_cols.max(1)).enumerate() {
                 let r = start + dr;
@@ -305,6 +306,7 @@ impl CsrMatrix {
                 }
             }
         });
+        mixq_telemetry::kernel_finish("sparse.spmm_f32", t0, (self.nnz() * x_cols) as u64);
     }
 
     /// Dense copy of the matrix (row-major), for tests and small examples.

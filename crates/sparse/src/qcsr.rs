@@ -97,6 +97,7 @@ pub fn spmm_int(a: &QuantCsr, x: &[i32], x_cols: usize) -> Vec<i64> {
         a.cols * x_cols,
         "spmm_int: dense operand has wrong size"
     );
+    let t0 = mixq_telemetry::kernel_start();
     let mut y = vec![0i64; a.rows * x_cols];
     mixq_parallel::par_row_chunks_mut(&mut y, a.rows, x_cols, |start, chunk| {
         for (dr, out) in chunk.chunks_mut(x_cols.max(1)).enumerate() {
@@ -111,6 +112,7 @@ pub fn spmm_int(a: &QuantCsr, x: &[i32], x_cols: usize) -> Vec<i64> {
             }
         }
     });
+    mixq_telemetry::kernel_finish("sparse.spmm_int", t0, (a.nnz() * x_cols) as u64);
     y
 }
 

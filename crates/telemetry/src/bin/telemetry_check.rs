@@ -1,0 +1,77 @@
+//! CI smoke checker for telemetry reports: parses each JSON report given on
+//! the command line with the in-repo parser and verifies the expected
+//! top-level structure, exiting non-zero on any failure.
+//!
+//! ```text
+//! telemetry_check results/telemetry/table1.json [--expect counters.key] …
+//! ```
+//!
+//! `--expect <section>.<name>` additionally requires a named metric to be
+//! present (section is one of counters/gauges/histograms/series/spans).
+
+use mixq_telemetry::json;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut expectations = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--expect" {
+            match it.next() {
+                Some(e) => expectations.push(e.clone()),
+                None => fail("--expect needs an argument"),
+            }
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    if paths.is_empty() {
+        fail("usage: telemetry_check <report.json>… [--expect section.name]…");
+    }
+
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => fail(&format!("{path}: cannot read: {e}")),
+        };
+        let doc = match json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => fail(&format!("{path}: {e}")),
+        };
+        for section in ["counters", "gauges", "histograms", "series", "spans"] {
+            match doc.get(section) {
+                Some(v) if v.as_object().is_some() => {}
+                Some(_) => fail(&format!("{path}: \"{section}\" is not an object")),
+                None => fail(&format!("{path}: missing \"{section}\" section")),
+            }
+        }
+        for exp in &expectations {
+            let Some((section, name)) = exp.split_once('.') else {
+                fail(&format!("bad --expect '{exp}': want section.name"));
+            };
+            let found = doc.get(section).and_then(|s| s.get(name)).is_some();
+            if !found {
+                fail(&format!("{path}: expected {section} metric '{name}'"));
+            }
+        }
+        let count = |s: &str| {
+            doc.get(s)
+                .and_then(json::Json::as_object)
+                .map_or(0, |o| o.len())
+        };
+        println!(
+            "{path}: OK ({} counters, {} gauges, {} histograms, {} series, {} spans)",
+            count("counters"),
+            count("gauges"),
+            count("histograms"),
+            count("series"),
+            count("spans")
+        );
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("telemetry_check: {msg}");
+    std::process::exit(1)
+}

@@ -1,0 +1,696 @@
+//! Zero-dependency observability for the MixQ-GNN workspace.
+//!
+//! A process-wide metrics registry (counters, gauges, fixed-bucket
+//! histograms, per-epoch series) plus RAII span timers with parent/child
+//! nesting. Instrumentation is compiled in everywhere but **gated by the
+//! `MIXQ_TELEMETRY` environment variable** (or [`set_enabled`]): when the
+//! gate is off every recording call is a single relaxed atomic load and an
+//! early return, so hot kernels pay effectively nothing.
+//!
+//! * Counters — monotonically increasing `u64` (call counts, element/nnz
+//!   throughput, accumulated busy nanoseconds).
+//! * Gauges — last-written `f64` (e.g. the parallel runtime's utilization).
+//! * Histograms — power-of-two buckets over `u64` values (latencies in ns).
+//! * Series — ordered `f64` trajectories (per-epoch loss, α entropy, …).
+//! * Spans — RAII timers; nested spans aggregate under a slash-joined
+//!   `parent/child` path per thread (count / total / min / max ns).
+//!
+//! Reports export as JSON (parse them back with [`json::parse`]) or as a
+//! human-readable table; [`write_report`] writes
+//! `results/telemetry/<tag>.json` (directory override:
+//! `MIXQ_TELEMETRY_DIR`).
+//!
+//! This crate sits below `mixq-parallel` in the workspace dependency graph
+//! so every other crate — including the parallel runtime itself — can
+//! record into the same registry.
+
+pub mod json;
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+// ---- the enabled gate --------------------------------------------------------
+
+const GATE_UNSET: u8 = 0;
+const GATE_OFF: u8 = 1;
+const GATE_ON: u8 = 2;
+
+static GATE: AtomicU8 = AtomicU8::new(GATE_UNSET);
+
+/// Whether telemetry recording is on. First call resolves `MIXQ_TELEMETRY`
+/// (`0`, `false`, `off`, or empty disable; anything else enables); later
+/// calls are one relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    match GATE.load(Ordering::Relaxed) {
+        GATE_ON => true,
+        GATE_OFF => false,
+        _ => resolve_gate(),
+    }
+}
+
+#[cold]
+fn resolve_gate() -> bool {
+    let on = match std::env::var("MIXQ_TELEMETRY") {
+        Ok(v) => {
+            let v = v.trim();
+            !(v.is_empty()
+                || v == "0"
+                || v.eq_ignore_ascii_case("off")
+                || v.eq_ignore_ascii_case("false"))
+        }
+        Err(_) => false,
+    };
+    GATE.store(if on { GATE_ON } else { GATE_OFF }, Ordering::Relaxed);
+    on
+}
+
+/// Overrides the `MIXQ_TELEMETRY` gate at runtime (tests, bench binaries).
+pub fn set_enabled(on: bool) {
+    GATE.store(if on { GATE_ON } else { GATE_OFF }, Ordering::Relaxed);
+}
+
+// ---- histograms --------------------------------------------------------------
+
+/// Number of power-of-two buckets: bucket 0 holds the value 0, bucket `i`
+/// holds values in `[2^(i−1), 2^i)`. 44 buckets cover ~2.4 hours in ns.
+pub const HIST_BUCKETS: usize = 44;
+
+/// A fixed-bucket (power-of-two) histogram over `u64` values.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index of a value: 0 for 0, otherwise `floor(log2 v) + 1`,
+    /// saturating at the last bucket.
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Aggregated timing of one span path.
+#[derive(Debug, Clone)]
+pub struct SpanStat {
+    pub count: u64,
+    pub total_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+}
+
+impl Default for SpanStat {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+}
+
+// ---- the registry ------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, Histogram>,
+    series: BTreeMap<String, Vec<f64>>,
+    spans: BTreeMap<String, SpanStat>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+fn with_registry(f: impl FnOnce(&mut Registry)) {
+    // A poisoned registry only loses observability; never panic the caller.
+    if let Ok(mut r) = registry().lock() {
+        f(&mut r);
+    }
+}
+
+/// Adds `delta` to a counter (no-op while disabled).
+pub fn counter_add(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    with_registry(|r| {
+        let c = r.counters.entry(name.to_string()).or_insert(0);
+        *c = c.saturating_add(delta);
+    });
+}
+
+/// Sets a gauge to its latest value (no-op while disabled).
+pub fn gauge_set(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_registry(|r| {
+        r.gauges.insert(name.to_string(), value);
+    });
+}
+
+/// Records a value into a power-of-two-bucket histogram (no-op while
+/// disabled).
+pub fn hist_record(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    with_registry(|r| r.hists.entry(name.to_string()).or_default().record(value));
+}
+
+/// Appends the next point of a named series — per-epoch trajectories such
+/// as training loss or α entropy (no-op while disabled).
+pub fn series_push(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_registry(|r| r.series.entry(name.to_string()).or_default().push(value));
+}
+
+/// Clears every metric and span (the gate state is kept).
+pub fn reset() {
+    with_registry(|r| *r = Registry::default());
+}
+
+// ---- kernel timing helpers ---------------------------------------------------
+
+/// Starts a kernel timer; `None` while telemetry is disabled, so the hot
+/// path's cost is one atomic load.
+#[inline]
+pub fn kernel_start() -> Option<Instant> {
+    if enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Finishes a kernel timer started by [`kernel_start`]: bumps
+/// `<name>.calls` and `<name>.work` counters and records the elapsed
+/// nanoseconds into the `<name>.ns` histogram. `work` is the kernel's unit
+/// of throughput (MACs for matmul, `nnz × cols` for SpMM, …).
+pub fn kernel_finish(name: &str, start: Option<Instant>, work: u64) {
+    let Some(t0) = start else { return };
+    let ns = t0.elapsed().as_nanos() as u64;
+    if !enabled() {
+        return;
+    }
+    with_registry(|r| {
+        let calls = r.counters.entry(format!("{name}.calls")).or_insert(0);
+        *calls = calls.saturating_add(1);
+        let w = r.counters.entry(format!("{name}.work")).or_insert(0);
+        *w = w.saturating_add(work);
+        r.hists.entry(format!("{name}.ns")).or_default().record(ns);
+    });
+}
+
+// ---- RAII spans --------------------------------------------------------------
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An RAII span timer. Created by [`span`]; records its duration under the
+/// slash-joined path of the enclosing spans on this thread when dropped.
+#[must_use = "a span records on drop; binding it to _ ends it immediately"]
+pub struct Span {
+    // None when telemetry is disabled: drop is then a no-op.
+    live: Option<(String, Instant)>,
+}
+
+/// Opens a span named `name`. Nested spans aggregate under
+/// `"outer/inner"`-style paths; the aggregate keeps count, total, min and
+/// max nanoseconds per path.
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { live: None };
+    }
+    let path = SPAN_STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        s.push(name);
+        s.join("/")
+    });
+    Span {
+        live: Some((path, Instant::now())),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some((path, t0)) = self.live.take() else {
+            return;
+        };
+        let ns = t0.elapsed().as_nanos() as u64;
+        SPAN_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+        with_registry(|r| {
+            let st = r.spans.entry(path).or_default();
+            st.count += 1;
+            st.total_ns = st.total_ns.saturating_add(ns);
+            st.min_ns = st.min_ns.min(ns);
+            st.max_ns = st.max_ns.max(ns);
+        });
+    }
+}
+
+// ---- reports -----------------------------------------------------------------
+
+/// An owned, consistent snapshot of the registry, ready for export.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub hists: Vec<(String, Histogram)>,
+    pub series: Vec<(String, Vec<f64>)>,
+    pub spans: Vec<(String, SpanStat)>,
+}
+
+/// Takes a snapshot of everything recorded so far (sorted by name).
+pub fn snapshot() -> Report {
+    let mut rep = Report::default();
+    with_registry(|r| {
+        rep.counters = r.counters.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        rep.gauges = r.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        rep.hists = r
+            .hists
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        rep.series = r
+            .series
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        rep.spans = r
+            .spans
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+    });
+    rep
+}
+
+impl Report {
+    /// Serializes the report as a JSON object (round-trips through
+    /// [`json::parse`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = write!(out, "  \"counters\": {{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    {}: {v}", json::quote(k));
+        }
+        out.push_str(if self.counters.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        let _ = write!(out, "  \"gauges\": {{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    {}: {}", json::quote(k), json::num(*v));
+        }
+        out.push_str(if self.gauges.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        let _ = write!(out, "  \"histograms\": {{");
+        for (i, (k, h)) in self.hists.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {}: {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"mean\": {}, \"buckets\": [{}]}}",
+                json::quote(k),
+                h.count,
+                h.sum,
+                if h.count == 0 { 0 } else { h.min },
+                h.max,
+                json::num(h.mean()),
+                h.buckets
+                    .iter()
+                    .map(|b| b.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
+        out.push_str(if self.hists.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        let _ = write!(out, "  \"series\": {{");
+        for (i, (k, vs)) in self.series.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {}: [{}]",
+                json::quote(k),
+                vs.iter()
+                    .map(|v| json::num(*v))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
+        out.push_str(if self.series.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        let _ = write!(out, "  \"spans\": {{");
+        for (i, (k, s)) in self.spans.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {}: {{\"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \
+                 \"max_ns\": {}}}",
+                json::quote(k),
+                s.count,
+                s.total_ns,
+                if s.count == 0 { 0 } else { s.min_ns },
+                s.max_ns
+            );
+        }
+        out.push_str(if self.spans.is_empty() {
+            "}\n"
+        } else {
+            "\n  }\n"
+        });
+        out.push('}');
+        out
+    }
+
+    /// Renders the report as an aligned human-readable table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let section = |out: &mut String, title: &str| {
+            let _ = writeln!(out, "== {title} ==");
+        };
+        if !self.counters.is_empty() {
+            section(&mut out, "counters");
+            let w = self
+                .counters
+                .iter()
+                .map(|(k, _)| k.len())
+                .max()
+                .unwrap_or(0);
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "  {k:<w$}  {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            section(&mut out, "gauges");
+            let w = self.gauges.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+            for (k, v) in &self.gauges {
+                let _ = writeln!(out, "  {k:<w$}  {v:.6}");
+            }
+        }
+        if !self.hists.is_empty() {
+            section(&mut out, "histograms");
+            let w = self.hists.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+            for (k, h) in &self.hists {
+                let _ = writeln!(
+                    out,
+                    "  {k:<w$}  count={} mean={:.0} min={} max={}",
+                    h.count,
+                    h.mean(),
+                    if h.count == 0 { 0 } else { h.min },
+                    h.max
+                );
+            }
+        }
+        if !self.series.is_empty() {
+            section(&mut out, "series");
+            let w = self.series.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+            for (k, vs) in &self.series {
+                let first = vs.first().copied().unwrap_or(0.0);
+                let last = vs.last().copied().unwrap_or(0.0);
+                let _ = writeln!(
+                    out,
+                    "  {k:<w$}  n={} first={first:.4} last={last:.4}",
+                    vs.len()
+                );
+            }
+        }
+        if !self.spans.is_empty() {
+            section(&mut out, "spans");
+            let w = self.spans.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+            for (k, s) in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "  {k:<w$}  count={} total={:.2}ms min={}ns max={}ns",
+                    s.count,
+                    s.total_ns as f64 / 1e6,
+                    if s.count == 0 { 0 } else { s.min_ns },
+                    s.max_ns
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Directory reports are written to: `MIXQ_TELEMETRY_DIR` or
+/// `results/telemetry` relative to the working directory.
+pub fn report_dir() -> PathBuf {
+    std::env::var("MIXQ_TELEMETRY_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results").join("telemetry"))
+}
+
+/// Snapshots the registry and writes `<report_dir>/<tag>.json`, creating
+/// the directory as needed. Returns the path written. Call this even when
+/// telemetry is disabled — the report is then simply empty.
+pub fn write_report(tag: &str) -> std::io::Result<PathBuf> {
+    let safe: String = tag
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let dir = report_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{safe}.json"));
+    std::fs::write(&path, snapshot().to_json())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry and the gate are process-wide; every test that touches
+    /// them lives here, serialized by one lock, to avoid cross-test races.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn counters_gauges_histograms_series() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        reset();
+        counter_add("t.calls", 2);
+        counter_add("t.calls", 3);
+        gauge_set("t.util", 0.5);
+        gauge_set("t.util", 0.75);
+        for v in [0u64, 1, 2, 3, 900, 1024] {
+            hist_record("t.ns", v);
+        }
+        series_push("t.loss", 1.5);
+        series_push("t.loss", 0.5);
+        let rep = snapshot();
+        assert_eq!(rep.counters, vec![("t.calls".into(), 5)]);
+        assert_eq!(rep.gauges, vec![("t.util".into(), 0.75)]);
+        let (_, h) = &rep.hists[0];
+        assert_eq!(h.count, 6);
+        assert_eq!((h.min, h.max), (0, 1024));
+        assert_eq!(h.buckets[0], 1, "value 0 lands in bucket 0");
+        assert_eq!(h.buckets[1], 1, "value 1 lands in bucket 1");
+        assert_eq!(h.buckets[2], 2, "values 2..4 land in bucket 2");
+        assert_eq!(h.buckets[10], 1, "900 ∈ [512, 1024)");
+        assert_eq!(h.buckets[11], 1, "1024 ∈ [1024, 2048)");
+        assert_eq!(rep.series, vec![("t.loss".into(), vec![1.5, 0.5])]);
+        reset();
+        set_enabled(false);
+    }
+
+    #[test]
+    fn disabled_mode_is_a_no_op() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        reset();
+        set_enabled(false);
+        counter_add("off.c", 1);
+        gauge_set("off.g", 1.0);
+        hist_record("off.h", 1);
+        series_push("off.s", 1.0);
+        kernel_finish("off.k", kernel_start(), 10);
+        {
+            let _s = span("off.span");
+        }
+        set_enabled(true);
+        let rep = snapshot();
+        assert!(rep.counters.is_empty(), "{:?}", rep.counters);
+        assert!(rep.gauges.is_empty());
+        assert!(rep.hists.is_empty());
+        assert!(rep.series.is_empty());
+        assert!(rep.spans.is_empty());
+        set_enabled(false);
+    }
+
+    #[test]
+    fn spans_nest_and_aggregate() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        reset();
+        for _ in 0..3 {
+            let _outer = span("outer");
+            let _inner = span("inner");
+        }
+        {
+            let _solo = span("inner");
+        }
+        let rep = snapshot();
+        let names: Vec<&str> = rep.spans.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, vec!["inner", "outer", "outer/inner"]);
+        let get = |n: &str| &rep.spans.iter().find(|(k, _)| k == n).unwrap().1;
+        assert_eq!(get("outer").count, 3);
+        assert_eq!(get("outer/inner").count, 3);
+        assert_eq!(get("inner").count, 1);
+        assert!(get("outer").min_ns <= get("outer").max_ns);
+        reset();
+        set_enabled(false);
+    }
+
+    #[test]
+    fn kernel_helpers_record_calls_work_and_latency() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        reset();
+        let t = kernel_start();
+        assert!(t.is_some());
+        kernel_finish("k", t, 640);
+        kernel_finish("k", kernel_start(), 60);
+        let rep = snapshot();
+        let c = |n: &str| rep.counters.iter().find(|(k, _)| k == n).unwrap().1;
+        assert_eq!(c("k.calls"), 2);
+        assert_eq!(c("k.work"), 700);
+        assert_eq!(rep.hists[0].0, "k.ns");
+        assert_eq!(rep.hists[0].1.count, 2);
+        reset();
+        set_enabled(false);
+    }
+
+    #[test]
+    fn report_round_trips_through_the_json_parser() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        reset();
+        counter_add("rt.calls", 7);
+        gauge_set("rt.g", -2.25);
+        hist_record("rt.h", 100);
+        series_push("rt.s", 0.125);
+        series_push("rt.s", -3.0);
+        {
+            let _s = span("rt");
+        }
+        let text = snapshot().to_json();
+        reset();
+        set_enabled(false);
+
+        let v = json::parse(&text).expect("report must be valid JSON");
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("rt.calls"))
+                .and_then(json::Json::as_f64),
+            Some(7.0)
+        );
+        assert_eq!(
+            v.get("gauges")
+                .and_then(|g| g.get("rt.g"))
+                .and_then(json::Json::as_f64),
+            Some(-2.25)
+        );
+        let h = v.get("histograms").and_then(|h| h.get("rt.h")).unwrap();
+        assert_eq!(h.get("count").and_then(json::Json::as_f64), Some(1.0));
+        assert_eq!(
+            h.get("buckets")
+                .and_then(json::Json::as_array)
+                .map(|a| a.len()),
+            Some(HIST_BUCKETS)
+        );
+        let s = v
+            .get("series")
+            .and_then(|s| s.get("rt.s"))
+            .and_then(json::Json::as_array)
+            .unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[1].as_f64(), Some(-3.0));
+        let sp = v.get("spans").and_then(|s| s.get("rt")).unwrap();
+        assert_eq!(sp.get("count").and_then(json::Json::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn empty_report_is_valid_json_and_table() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        reset();
+        let rep = snapshot();
+        reset();
+        set_enabled(false);
+        let v = json::parse(&rep.to_json()).unwrap();
+        assert!(v.get("counters").is_some());
+        assert_eq!(rep.render_table(), "");
+    }
+}

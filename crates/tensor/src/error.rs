@@ -1,0 +1,123 @@
+//! The workspace-wide error type.
+//!
+//! Fallible public APIs across the workspace (checkpoint parsing, dataset
+//! loading, bit-assignment parsing, executor construction) return
+//! [`MixqError`] instead of ad-hoc `Result<_, String>` / panics, so callers
+//! can match on the failure class and `?` works uniformly with
+//! `Box<dyn Error>` mains.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Convenience alias used by fallible APIs across the workspace.
+pub type MixqResult<T> = Result<T, MixqError>;
+
+/// Failure classes of the MixQ workspace.
+#[derive(Debug)]
+pub enum MixqError {
+    /// Text input (checkpoint, edge list, bit assignment, …) is malformed.
+    /// `kind` names the format, `detail` says what was wrong and where.
+    Parse { kind: &'static str, detail: String },
+    /// Two tensors / graph structures have incompatible dimensions.
+    ShapeMismatch {
+        context: &'static str,
+        detail: String,
+    },
+    /// A configuration value is out of range or inconsistent (bad
+    /// hyper-parameter, schema mismatch, unsupported quantizer, …).
+    InvalidConfig {
+        context: &'static str,
+        detail: String,
+    },
+    /// An underlying I/O operation failed.
+    Io(io::Error),
+}
+
+impl MixqError {
+    /// Shorthand for a [`MixqError::Parse`] with formatted detail.
+    pub fn parse(kind: &'static str, detail: impl Into<String>) -> Self {
+        Self::Parse {
+            kind,
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand for a [`MixqError::ShapeMismatch`] with formatted detail.
+    pub fn shape(context: &'static str, detail: impl Into<String>) -> Self {
+        Self::ShapeMismatch {
+            context,
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand for a [`MixqError::InvalidConfig`] with formatted detail.
+    pub fn config(context: &'static str, detail: impl Into<String>) -> Self {
+        Self::InvalidConfig {
+            context,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for MixqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Parse { kind, detail } => write!(f, "{kind}: {detail}"),
+            Self::ShapeMismatch { context, detail } => {
+                write!(f, "{context}: shape mismatch: {detail}")
+            }
+            Self::InvalidConfig { context, detail } => {
+                write!(f, "{context}: invalid configuration: {detail}")
+            }
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for MixqError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for MixqError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure_class() {
+        let e = MixqError::parse("mixq-params", "line 3: bad float");
+        assert_eq!(e.to_string(), "mixq-params: line 3: bad float");
+        let e = MixqError::shape("matmul", "2x3 · 4x5");
+        assert!(e.to_string().contains("shape mismatch"));
+        let e = MixqError::config("TrainConfig", "lr must be positive");
+        assert!(e.to_string().contains("invalid configuration"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let io = io::Error::new(io::ErrorKind::NotFound, "no such checkpoint");
+        let e: MixqError = io.into();
+        assert!(e.to_string().contains("no such checkpoint"));
+        assert!(Error::source(&e).is_some(), "io source must be preserved");
+    }
+
+    #[test]
+    fn works_as_boxed_dyn_error() {
+        fn fails() -> Result<(), Box<dyn Error>> {
+            Err(MixqError::config("test", "nope"))?;
+            Ok(())
+        }
+        assert!(fails().is_err());
+    }
+}

@@ -23,6 +23,7 @@
 //!   variable or [`set_num_threads`]; results are bit-identical to the
 //!   serial kernels at any thread count.
 
+mod error;
 mod gradcheck;
 mod matrix;
 mod quant;
@@ -35,6 +36,7 @@ mod tape;
 pub use mixq_parallel as parallel;
 pub use mixq_parallel::{num_threads, set_num_threads};
 
+pub use error::{MixqError, MixqResult};
 pub use gradcheck::{assert_close, numeric_grad};
 pub use matrix::Matrix;
 pub use quant::QuantParams;

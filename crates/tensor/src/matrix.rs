@@ -132,6 +132,7 @@ impl Matrix {
     /// the serial loop exactly.
     pub fn matmul(&self, b: &Matrix) -> Matrix {
         assert_eq!(self.cols, b.rows, "matmul: inner dimensions differ");
+        let t0 = mixq_telemetry::kernel_start();
         let mut c = Matrix::zeros(self.rows, b.cols);
         par_row_chunks_mut(&mut c.data, self.rows, b.cols, |start, chunk| {
             for (di, crow) in chunk.chunks_mut(b.cols).enumerate() {
@@ -148,6 +149,8 @@ impl Matrix {
                 }
             }
         });
+        let macs = (self.rows * self.cols * b.cols) as u64;
+        mixq_telemetry::kernel_finish("tensor.matmul", t0, macs);
         c
     }
 
@@ -157,6 +160,7 @@ impl Matrix {
     /// result is bit-identical to the single-threaded kernel.
     pub fn matmul_at_b(&self, b: &Matrix) -> Matrix {
         assert_eq!(self.rows, b.rows, "matmul_at_b: row counts differ");
+        let t0 = mixq_telemetry::kernel_start();
         let mut c = Matrix::zeros(self.cols, b.cols);
         par_row_chunks_mut(&mut c.data, self.cols, b.cols, |start, chunk| {
             let k_hi = start + chunk.len() / b.cols;
@@ -174,6 +178,8 @@ impl Matrix {
                 }
             }
         });
+        let macs = (self.rows * self.cols * b.cols) as u64;
+        mixq_telemetry::kernel_finish("tensor.matmul_at_b", t0, macs);
         c
     }
 
@@ -181,6 +187,7 @@ impl Matrix {
     /// is an independent dot product; rows are partitioned across threads.
     pub fn matmul_a_bt(&self, b: &Matrix) -> Matrix {
         assert_eq!(self.cols, b.cols, "matmul_a_bt: col counts differ");
+        let t0 = mixq_telemetry::kernel_start();
         let mut c = Matrix::zeros(self.rows, b.rows);
         par_row_chunks_mut(&mut c.data, self.rows, b.rows, |start, chunk| {
             for (di, crow) in chunk.chunks_mut(b.rows).enumerate() {
@@ -195,6 +202,8 @@ impl Matrix {
                 }
             }
         });
+        let macs = (self.rows * self.cols * b.rows) as u64;
+        mixq_telemetry::kernel_finish("tensor.matmul_a_bt", t0, macs);
         c
     }
 

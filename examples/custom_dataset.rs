@@ -60,7 +60,8 @@ fn main() {
         &bundle.degrees,
         0.5,
         &mut rng,
-    );
+    )
+    .expect("assignment matches schema");
     let cfg = TrainConfig {
         epochs: 120,
         lr: 0.01,

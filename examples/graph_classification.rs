@@ -61,7 +61,8 @@ fn main() {
         QuantKind::Native,
         &train.degrees,
         &mut rng,
-    );
+    )
+    .expect("assignment matches schema");
     let (_, q_acc) = train_graph(&mut qnet, &mut ps, &train, &test, &cfg);
     let n: u64 = train.degrees.len() as u64;
     let cost = qnet.cost_model(n, train.raw.a.nnz() as u64, train.num_graphs() as u64);

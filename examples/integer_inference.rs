@@ -5,11 +5,24 @@
 //!
 //! Run with: `cargo run --release --example integer_inference`
 
-use mixq::core::{gcn_schema, BitAssignment, QGcnNet, QuantKind, QuantizedGcn};
+use mixq::core::{
+    gcn_schema, BitAssignment, LayerBits, QGcnNet, QuantKind, QuantizedGcn, QuantizedModel,
+};
 use mixq::graph::cora_like;
 use mixq::nn::{accuracy, eval_node, train_node, NodeBundle, ParamSet, TrainConfig};
-use mixq::sparse::gcn_normalize;
-use mixq::tensor::Rng;
+use mixq::sparse::{gcn_normalize, CsrMatrix};
+use mixq::tensor::{Matrix, Rng};
+
+/// Generic over [`QuantizedModel`] — the same call works for the GraphSAGE
+/// engine, which is the point of the shared trait.
+fn run_integer<M: QuantizedModel>(
+    snapshot: &M::Snapshot,
+    adj: &CsrMatrix,
+    features: &Matrix,
+) -> (Matrix, Vec<LayerBits>) {
+    let engine = M::prepare(snapshot, adj);
+    (engine.infer(features), engine.bit_config())
+}
 
 fn main() {
     let ds = cora_like(7);
@@ -28,7 +41,8 @@ fn main() {
         &bundle.degrees,
         0.5,
         &mut rng,
-    );
+    )
+    .expect("assignment matches schema");
     let cfg = TrainConfig {
         epochs: 120,
         lr: 0.01,
@@ -44,9 +58,16 @@ fn main() {
 
     // Export scales/zero-points + weights, quantize the adjacency once, and
     // run the whole forward pass on integer codes.
-    let snapshot = net.snapshot(&ps);
-    let engine = QuantizedGcn::prepare(&snapshot, &gcn_normalize(&ds.adj));
-    let logits = engine.infer(&ds.features);
+    let snapshot = net.snapshot(&ps).expect("native quantizers with bits < 32");
+    let (logits, bit_config) =
+        run_integer::<QuantizedGcn>(&snapshot, &gcn_normalize(&ds.adj), &ds.features);
+    println!(
+        "executing bit-widths per layer (weight/activation/adjacency): {:?}",
+        bit_config
+            .iter()
+            .map(|b| (b.weight_bits, b.activation_bits, b.adj_bits))
+            .collect::<Vec<_>>()
+    );
     let int_acc = accuracy(&logits, ds.labels(), &ds.test_idx);
     println!(
         "integer-only inference test accuracy: {:.1}%",
@@ -59,4 +80,11 @@ fn main() {
         "agreement with the fake-quantized path: {:.2}% absolute difference",
         (int_acc - fq_acc).abs() * 100.0
     );
+
+    if mixq::telemetry::enabled() {
+        match mixq::telemetry::write_report("integer_inference") {
+            Ok(p) => println!("telemetry report written to {}", p.display()),
+            Err(e) => eprintln!("telemetry report failed: {e}"),
+        }
+    }
 }

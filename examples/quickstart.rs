@@ -75,7 +75,8 @@ fn main() {
         &bundle.degrees,
         0.5,
         &mut rng,
-    );
+    )
+    .expect("assignment matches schema");
     let qrep = train_node(&mut qnet, &mut ps, &ds, &bundle, &train_cfg);
     let qcost = qnet.cost_model(
         ds.num_nodes() as u64,

@@ -8,6 +8,8 @@
 //!
 //! This facade crate re-exports the workspace:
 //!
+//! * [`telemetry`] — zero-dependency metrics / span-tracing layer
+//!   (`MIXQ_TELEMETRY=1` to enable; reports under `results/telemetry/`);
 //! * [`parallel`] — the scoped-thread runtime behind every compute kernel
 //!   (`MIXQ_THREADS` / [`parallel::set_num_threads`]; results stay
 //!   bit-identical to serial at any thread count);
@@ -25,4 +27,5 @@ pub use mixq_graph as graph;
 pub use mixq_nn as nn;
 pub use mixq_parallel as parallel;
 pub use mixq_sparse as sparse;
+pub use mixq_telemetry as telemetry;
 pub use mixq_tensor as tensor;

@@ -58,7 +58,8 @@ fn train_quantized(ds: &NodeDataset, bundle: &NodeBundle, bits: u8, seed: u64) -
         &bundle.degrees,
         0.5,
         &mut rng,
-    );
+    )
+    .expect("assignment matches schema");
     train_node(&mut net, &mut ps, ds, bundle, &train_cfg(seed)).test_metric
 }
 
@@ -123,7 +124,8 @@ fn mixq_search_produces_trainable_assignment() {
         &bundle.degrees,
         0.5,
         &mut rng,
-    );
+    )
+    .expect("assignment matches schema");
     let acc = train_node(&mut net, &mut ps, &ds, &bundle, &train_cfg(0)).test_metric;
     let chance = 1.0 / ds.num_classes() as f64;
     assert!(
@@ -151,7 +153,8 @@ fn dq_quantizer_trains_on_the_same_pipeline() {
         &bundle.degrees,
         0.5,
         &mut rng,
-    );
+    )
+    .expect("assignment matches schema");
     let acc = train_node(&mut net, &mut ps, &ds, &bundle, &train_cfg(0)).test_metric;
     assert!(acc > 0.4, "DQ INT4 accuracy {acc} unexpectedly low");
 }
@@ -176,7 +179,8 @@ fn a2q_quantizer_trains_on_the_same_pipeline() {
         &bundle.degrees,
         0.5,
         &mut rng,
-    );
+    )
+    .expect("assignment matches schema");
     let acc = train_node(&mut net, &mut ps, &ds, &bundle, &train_cfg(0)).test_metric;
     assert!(acc > 0.4, "A2Q accuracy {acc} unexpectedly low");
 }

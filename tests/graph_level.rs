@@ -70,7 +70,8 @@ fn quantized_gin_int8_close_to_fp32() {
         QuantKind::Native,
         &train.degrees,
         &mut rng,
-    );
+    )
+    .expect("assignment matches schema");
     let (_, q_acc) = train_graph(&mut qnet, &mut ps, &train, &test, &cfg);
     assert!(
         q_acc > fp_acc - 0.12,
@@ -118,7 +119,8 @@ fn quantized_gin_handles_different_eval_batch_sizes() {
         },
         &train.degrees,
         &mut rng,
-    );
+    )
+    .expect("assignment matches schema");
     let cfg = TrainConfig {
         epochs: 20,
         lr: 0.01,
@@ -158,7 +160,8 @@ fn gcn_graph_net_requantizes_adjacency_per_batch() {
         },
         &train.degrees,
         &mut rng,
-    );
+    )
+    .expect("assignment matches schema");
     let cfg = TrainConfig {
         epochs: 15,
         lr: 0.01,
@@ -192,7 +195,8 @@ fn dq_gin_trains_despite_pooled_head_tensors() {
         },
         &train.degrees,
         &mut rng,
-    );
+    )
+    .expect("assignment matches schema");
     let cfg = TrainConfig {
         epochs: 20,
         lr: 0.01,

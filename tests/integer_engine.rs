@@ -41,7 +41,8 @@ fn integer_inference_matches_fake_quantized_path() {
         &bundle.degrees,
         0.5,
         &mut rng,
-    );
+    )
+    .expect("assignment matches schema");
     let cfg = TrainConfig {
         epochs: 60,
         lr: 0.01,
@@ -70,7 +71,7 @@ fn integer_inference_matches_fake_quantized_path() {
     };
 
     // Integer path.
-    let snapshot = net.snapshot(&ps);
+    let snapshot = net.snapshot(&ps).expect("native quantizers with bits < 32");
     let engine = QuantizedGcn::prepare(&snapshot, &gcn_normalize(&ds.adj));
     let int_logits = engine.infer(&ds.features);
 
@@ -144,7 +145,8 @@ fn integer_sage_inference_agrees_with_training_path() {
         &bundle.degrees,
         0.5,
         &mut rng,
-    );
+    )
+    .expect("assignment matches schema");
     let cfg = TrainConfig {
         epochs: 50,
         lr: 0.01,
@@ -155,7 +157,7 @@ fn integer_sage_inference_agrees_with_training_path() {
     let rep = train_node(&mut net, &mut ps, &ds, &bundle, &cfg);
     assert!(rep.test_metric > 0.5, "trained SAGE should be decent");
 
-    let snapshot = net.snapshot(&ps);
+    let snapshot = net.snapshot(&ps).expect("native quantizers with bits < 32");
     let engine = QuantizedSage::prepare(&snapshot, &row_normalize(&ds.adj));
     let logits = engine.infer(&ds.features);
     let int_acc = accuracy(&logits, ds.labels(), &ds.test_idx);

@@ -1,0 +1,211 @@
+//! Workspace API contract tests: the [`QuantizedModel`] trait must be
+//! indistinguishable from the inherent executor methods, and fallible
+//! public APIs must report typed [`MixqError`]s instead of panicking.
+
+use mixq::core::{
+    gcn_schema, sage_schema, BitAssignment, QGcnNet, QSageNet, QuantKind, QuantizedGcn,
+    QuantizedModel, QuantizedSage,
+};
+use mixq::graph::cora_like;
+use mixq::nn::{params_from_string, train_node, NodeBundle, ParamSet, TrainConfig};
+use mixq::sparse::{gcn_normalize, row_normalize, CsrMatrix};
+use mixq::tensor::{Matrix, MixqError, Rng};
+
+/// Exercises the engine only through the trait, the way generic callers do.
+fn run_via_trait<M: QuantizedModel>(
+    snapshot: &M::Snapshot,
+    adj: &CsrMatrix,
+    features: &Matrix,
+) -> (Matrix, Vec<mixq::core::LayerBits>) {
+    let engine = M::prepare(snapshot, adj);
+    (engine.infer(features), engine.bit_config())
+}
+
+fn short_cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 3,
+        patience: 0,
+        ..TrainConfig::default()
+    }
+}
+
+#[test]
+fn gcn_trait_output_is_identical_to_direct_methods() {
+    let ds = cora_like(11);
+    let bundle = NodeBundle::new(&ds);
+    let dims = [ds.feat_dim(), 8, ds.num_classes()];
+    let a = BitAssignment::uniform(gcn_schema(2), 8);
+    let mut rng = Rng::seed_from_u64(2);
+    let mut ps = ParamSet::new();
+    let mut net = QGcnNet::new(
+        &mut ps,
+        &dims,
+        a,
+        QuantKind::Native,
+        &bundle.degrees,
+        0.0,
+        &mut rng,
+    )
+    .expect("assignment matches schema");
+    train_node(&mut net, &mut ps, &ds, &bundle, &short_cfg());
+    let snap = net.snapshot(&ps).expect("native quantizers");
+    let adj = gcn_normalize(&ds.adj);
+
+    let direct = QuantizedGcn::prepare(&snap, &adj);
+    let direct_out = direct.infer(&ds.features);
+    let (trait_out, bits) = run_via_trait::<QuantizedGcn>(&snap, &adj, &ds.features);
+
+    assert_eq!(direct_out, trait_out, "trait infer must match direct infer");
+    assert_eq!(bits, direct.bit_config());
+    assert_eq!(bits.len(), 2);
+    for b in &bits {
+        assert_eq!((b.weight_bits, b.activation_bits, b.adj_bits), (8, 8, 8));
+    }
+}
+
+#[test]
+fn sage_trait_output_is_identical_to_direct_methods() {
+    let ds = cora_like(12);
+    let bundle = NodeBundle::new(&ds);
+    let dims = [ds.feat_dim(), 8, ds.num_classes()];
+    let a = BitAssignment::uniform(sage_schema(2), 8);
+    let mut rng = Rng::seed_from_u64(3);
+    let mut ps = ParamSet::new();
+    let mut net = QSageNet::new(
+        &mut ps,
+        &dims,
+        a,
+        QuantKind::Native,
+        &bundle.degrees,
+        0.0,
+        &mut rng,
+    )
+    .expect("assignment matches schema");
+    train_node(&mut net, &mut ps, &ds, &bundle, &short_cfg());
+    let snap = net.snapshot(&ps).expect("native quantizers");
+    let adj = row_normalize(&ds.adj);
+
+    let direct = QuantizedSage::prepare(&snap, &adj);
+    let direct_out = direct.infer(&ds.features);
+    let (trait_out, bits) = run_via_trait::<QuantizedSage>(&snap, &adj, &ds.features);
+
+    assert_eq!(direct_out, trait_out, "trait infer must match direct infer");
+    assert_eq!(bits, direct.bit_config());
+    assert!(bits.iter().all(|b| b.weight_bits == 8 && b.adj_bits == 8));
+}
+
+#[test]
+fn schema_mismatch_is_a_typed_error_not_a_panic() {
+    let ds = cora_like(13);
+    let bundle = NodeBundle::new(&ds);
+    let dims = [ds.feat_dim(), 8, ds.num_classes()];
+    let mut rng = Rng::seed_from_u64(4);
+
+    // A SAGE assignment handed to a GCN constructor (and vice versa).
+    let mut ps = ParamSet::new();
+    let err = QGcnNet::new(
+        &mut ps,
+        &dims,
+        BitAssignment::uniform(sage_schema(2), 8),
+        QuantKind::Native,
+        &bundle.degrees,
+        0.0,
+        &mut rng,
+    )
+    .map(|_| ())
+    .unwrap_err();
+    assert!(matches!(err, MixqError::InvalidConfig { .. }), "{err:?}");
+    assert!(err.to_string().contains("QGcnNet::new"), "{err}");
+
+    let mut ps = ParamSet::new();
+    let err = QSageNet::new(
+        &mut ps,
+        &dims,
+        BitAssignment::uniform(gcn_schema(2), 8),
+        QuantKind::Native,
+        &bundle.degrees,
+        0.0,
+        &mut rng,
+    )
+    .map(|_| ())
+    .unwrap_err();
+    assert!(matches!(err, MixqError::InvalidConfig { .. }), "{err:?}");
+}
+
+#[test]
+fn snapshot_of_identity_quantizers_is_rejected() {
+    // 32-bit components are identity quantizers: the integer engine cannot
+    // execute them, and says so instead of panicking mid-export.
+    let ds = cora_like(14);
+    let bundle = NodeBundle::new(&ds);
+    let dims = [ds.feat_dim(), ds.num_classes()];
+    let mut rng = Rng::seed_from_u64(5);
+    let mut ps = ParamSet::new();
+    let net = QGcnNet::new(
+        &mut ps,
+        &dims,
+        BitAssignment::uniform(gcn_schema(1), 32),
+        QuantKind::Native,
+        &bundle.degrees,
+        0.0,
+        &mut rng,
+    )
+    .expect("assignment matches schema");
+    let err = net.snapshot(&ps).unwrap_err();
+    assert!(matches!(err, MixqError::InvalidConfig { .. }), "{err:?}");
+    assert!(err.to_string().contains("bits < 32"), "{err}");
+}
+
+#[test]
+fn corrupt_checkpoints_report_parse_errors() {
+    for text in [
+        "",
+        "wrong header\n1\n",
+        "mixq-params v1\nnot-a-count\n",
+        "mixq-params v1\n1\n2 2\n1.0 2.0 3.0\n",
+        "mixq-params v1\n1\n2 2\n1.0 2.0 3.0 oops\n",
+    ] {
+        let err = params_from_string(text).unwrap_err();
+        assert!(matches!(err, MixqError::Parse { .. }), "{text:?}: {err:?}");
+        assert!(err.to_string().contains("checkpoint"), "{err}");
+    }
+}
+
+#[test]
+fn missing_checkpoint_file_reports_io_error() {
+    let err = mixq::nn::load_params("/nonexistent/mixq/ckpt.txt").unwrap_err();
+    assert!(matches!(err, MixqError::Io(_)), "{err:?}");
+    assert!(std::error::Error::source(&err).is_some());
+}
+
+#[test]
+fn train_config_builder_validates_ranges() {
+    let cfg = TrainConfig::builder()
+        .epochs(20)
+        .lr(0.05)
+        .weight_decay(1e-4)
+        .seed(9)
+        .patience(5)
+        .build()
+        .expect("valid config");
+    assert_eq!(cfg.epochs, 20);
+    assert_eq!(cfg.seed, 9);
+    assert_eq!(cfg.patience, 5);
+
+    // Defaults must pass validation unchanged.
+    let d = TrainConfig::builder().build().expect("defaults are valid");
+    assert_eq!(d.epochs, TrainConfig::default().epochs);
+
+    for bad in [
+        TrainConfig::builder().epochs(0).build(),
+        TrainConfig::builder().lr(0.0).build(),
+        TrainConfig::builder().lr(-0.1).build(),
+        TrainConfig::builder().lr(f32::NAN).build(),
+        TrainConfig::builder().lr(2.0).build(),
+        TrainConfig::builder().weight_decay(-1.0).build(),
+        TrainConfig::builder().weight_decay(f32::INFINITY).build(),
+    ] {
+        let err = bad.unwrap_err();
+        assert!(matches!(err, MixqError::InvalidConfig { .. }), "{err:?}");
+    }
+}

@@ -27,4 +27,18 @@ MIXQ_TELEMETRY=1 MIXQ_TELEMETRY_DIR="$smoke_dir" ./target/release/table1 > /dev/
   --expect spans.train_node/epoch
 rm -rf "$smoke_dir"
 
+echo "==> fault-injection drill (MIXQ_FAULTS with all four kinds)"
+drill_dir="$(mktemp -d)"
+MIXQ_TELEMETRY=1 MIXQ_TELEMETRY_DIR="$drill_dir" \
+  MIXQ_FAULTS='grad_nan@epoch=3,ckpt_torn@1,worker_panic@2,acc_saturate@1' \
+  ./target/release/fault_drill
+./target/release/telemetry_check "$drill_dir/fault_drill.json" \
+  --expect counters.faults.injected \
+  --expect counters.train.divergence_rollbacks \
+  --expect counters.parallel.worker_panics \
+  --expect-eq counters.faults.injected=4 \
+  --expect-eq counters.faults.recovered=4 \
+  --expect-eq counters.qinfer.fallback.layers=1
+rm -rf "$drill_dir"
+
 echo "CI OK"

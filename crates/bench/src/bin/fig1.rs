@@ -40,6 +40,7 @@ fn main() {
                     weight_decay: 5e-4,
                     seed,
                     patience: 30,
+                    ..TrainConfig::default()
                 };
                 let mut rng = Rng::seed_from_u64(seed ^ 0xF16);
                 let mut ps = ParamSet::new();

@@ -84,8 +84,16 @@ fn main() {
             ..SearchConfig::default()
         };
         let assignment = search_gcn_bits(&small, &sbundle, &sdims, &[2, 4, 8], 0.5, &scfg);
+        let health = if rep.diverged {
+            format!(
+                " [DIVERGED (recovered {} times)]",
+                rep.recovered_divergences
+            )
+        } else {
+            String::new()
+        };
         println!(
-            "telemetry pipeline: train test-acc {:.1}%, searched avg bits {:.2}",
+            "telemetry pipeline: train test-acc {:.1}%{health}, searched avg bits {:.2}",
             rep.test_metric * 100.0,
             assignment.simple_avg()
         );

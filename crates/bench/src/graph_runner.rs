@@ -7,11 +7,29 @@ use mixq_core::{
 };
 use mixq_graph::{stratified_kfold, GraphDataset};
 use mixq_nn::{
-    mean_std, train_graph, GcnGraphNet, GinGraphNet, GraphBundle, ParamSet, TrainConfig,
+    mean_std, train_graph, GcnGraphNet, GinGraphNet, GraphBundle, GraphTrainReport, ParamSet,
+    TrainConfig,
 };
 use mixq_tensor::Rng;
 
 use crate::runner::CellResult;
+
+/// Graph-level twin of [`crate::runner::report_metric`]: flags diverged
+/// folds on stderr instead of feeding NaN into the k-fold means.
+fn fold_metric(rep: &GraphTrainReport, what: &str) -> f64 {
+    if rep.diverged {
+        eprintln!(
+            "{what}: DIVERGED (recovered {} times); metric taken from last finite params",
+            rep.recovered_divergences
+        );
+    } else if rep.recovered_divergences > 0 {
+        eprintln!(
+            "{what}: recovered from {} divergence(s)",
+            rep.recovered_divergences
+        );
+    }
+    rep.test_acc
+}
 
 /// The graph-level architecture family.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,6 +64,7 @@ impl GraphExp {
                 weight_decay: 1e-4,
                 seed: 0,
                 patience: 0,
+                ..TrainConfig::default()
             },
             search: SearchConfig {
                 epochs: 50,
@@ -53,6 +72,7 @@ impl GraphExp {
                 lambda: 0.1,
                 seed: 0,
                 warmup: 25,
+                ..SearchConfig::default()
             },
         }
     }
@@ -69,6 +89,7 @@ impl GraphExp {
                 weight_decay: 1e-4,
                 seed: 0,
                 patience: 0,
+                ..TrainConfig::default()
             },
             search: SearchConfig {
                 epochs: 60,
@@ -76,6 +97,7 @@ impl GraphExp {
                 lambda: 0.0,
                 seed: 0,
                 warmup: 30,
+                ..SearchConfig::default()
             },
         }
     }
@@ -217,7 +239,7 @@ fn run_fold(
                         exp.layers,
                         &mut rng,
                     );
-                    train_graph(&mut net, &mut ps, train, test, &cfg).1
+                    fold_metric(&train_graph(&mut net, &mut ps, train, test, &cfg), "fp32")
                 }
                 GraphArch::Gcn => {
                     let mut net = GcnGraphNet::new(
@@ -228,7 +250,7 @@ fn run_fold(
                         exp.layers,
                         &mut rng,
                     );
-                    train_graph(&mut net, &mut ps, train, test, &cfg).1
+                    fold_metric(&train_graph(&mut net, &mut ps, train, test, &cfg), "fp32")
                 }
             };
             (acc, bits, gb)
@@ -312,7 +334,10 @@ fn train_fixed(
                 &mut rng,
             )
             .expect("assignment matches schema");
-            train_graph(&mut net, &mut ps, train, test, cfg).1
+            fold_metric(
+                &train_graph(&mut net, &mut ps, train, test, cfg),
+                "quantized",
+            )
         }
         GraphArch::Gcn => {
             let mut net = QGcnGraphNet::new(
@@ -327,7 +352,10 @@ fn train_fixed(
                 &mut rng,
             )
             .expect("assignment matches schema");
-            train_graph(&mut net, &mut ps, train, test, cfg).1
+            fold_metric(
+                &train_graph(&mut net, &mut ps, train, test, cfg),
+                "quantized",
+            )
         }
     }
 }

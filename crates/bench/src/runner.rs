@@ -65,6 +65,7 @@ impl NodeExp {
                 weight_decay: 5e-4,
                 seed: 0,
                 patience: 40,
+                ..TrainConfig::default()
             },
             search: SearchConfig {
                 epochs: 60,
@@ -72,6 +73,7 @@ impl NodeExp {
                 lambda: 0.1,
                 seed: 0,
                 warmup: 30,
+                ..SearchConfig::default()
             },
             runs,
         }
@@ -90,6 +92,25 @@ impl NodeExp {
         d.push(ds.num_classes());
         d
     }
+}
+
+/// Reduces a training report to its test metric. A diverged run is flagged
+/// on stderr (`DIVERGED (recovered k times)`) instead of silently feeding a
+/// NaN row into the tables — the metric itself comes from the last finite
+/// parameters the recovery machinery kept.
+pub fn report_metric(rep: &TrainReport, what: &str) -> f64 {
+    if rep.diverged {
+        eprintln!(
+            "{what}: DIVERGED (recovered {} times); metric taken from last finite params",
+            rep.recovered_divergences
+        );
+    } else if rep.recovered_divergences > 0 {
+        eprintln!(
+            "{what}: recovered from {} divergence(s)",
+            rep.recovered_divergences
+        );
+    }
+    rep.test_metric
 }
 
 fn fp32_assignment(arch: NodeArch, nlayers: usize) -> BitAssignment {
@@ -134,7 +155,7 @@ pub fn run_fp32(ds: &NodeDataset, bundle: &NodeBundle, exp: &NodeExp) -> CellRes
                     train_node(&mut net, &mut ps, ds, bundle, &cfg)
                 }
             };
-            rep.test_metric
+            report_metric(&rep, "fp32")
         })
         .collect();
     let a = fp32_assignment(exp.arch, dims.len() - 1);
@@ -191,7 +212,7 @@ fn train_one_quantized(
                 &mut rng,
             )
             .expect("assignment matches schema");
-            train_node(&mut net, &mut ps, ds, bundle, &cfg).test_metric
+            report_metric(&train_node(&mut net, &mut ps, ds, bundle, &cfg), "qgcn")
         }
         NodeArch::Sage => {
             let mut net = QSageNet::new(
@@ -204,7 +225,7 @@ fn train_one_quantized(
                 &mut rng,
             )
             .expect("assignment matches schema");
-            train_node(&mut net, &mut ps, ds, bundle, &cfg).test_metric
+            report_metric(&train_node(&mut net, &mut ps, ds, bundle, &cfg), "qsage")
         }
     }
 }

@@ -54,6 +54,7 @@ pub fn gcn_bit_sweep(
                     weight_decay: 5e-4,
                     seed,
                     patience: 30,
+                    ..TrainConfig::default()
                 };
                 let mut prng = Rng::seed_from_u64(seed ^ 0xF2);
                 let mut ps = ParamSet::new();

@@ -7,11 +7,103 @@
 //! multipliers (Jacob et al. [30]) — no floating point in the dense hot
 //! loop. Sparse aggregation uses [`crate::theorem1::quantized_spmm`].
 
+use mixq_faultinject::FaultKind;
 use mixq_nn::ParamSet;
-use mixq_sparse::{CsrMatrix, QuantCsr};
+use mixq_sparse::{CooEntry, CsrMatrix, QuantCsr};
 use mixq_tensor::{Matrix, MixqResult, QuantParams};
 
 use crate::theorem1::{quantized_spmm, QmpParams};
+
+// ---- accumulator-saturation analysis ----------------------------------------
+//
+// Both integer kernels accumulate in `i64`. For sane bit-widths the
+// worst-case accumulator magnitude is nowhere near `i64::MAX`, but the
+// engine should *prove* that per layer instead of assuming it: `prepare`
+// computes a static a-priori bound (in `i128`, so the analysis itself
+// cannot overflow) and, if it crosses [`ACC_SAT_LIMIT`], freezes the layer
+// with a fake-quantized `f32` fallback instead of the integer kernels. The
+// `acc_saturate` fault forces the same path deterministically so the
+// fallback is exercisable in tests.
+
+/// Conservative accumulator ceiling: one bit of headroom under `i64::MAX`
+/// on top of the (already conservative) worst-case bound.
+const ACC_SAT_LIMIT: i128 = 1 << 62;
+
+fn qp_span(qp: &QuantParams) -> i128 {
+    (qp.qmax as i128 - qp.qmin as i128).max(1)
+}
+
+/// Worst-case |accumulator| of [`int_matmul_requant`] for `x_qp × w_qp`
+/// over inner dimension `in_dim`, with the bias folded at scale `Sx·Sw`.
+fn matmul_acc_bound(
+    in_dim: usize,
+    x_qp: &QuantParams,
+    w_qp: &QuantParams,
+    bias: Option<&[f32]>,
+) -> i128 {
+    let acc_scale = x_qp.scale as f64 * w_qp.scale as f64;
+    let bias_max = bias
+        .map(|b| {
+            b.iter()
+                .map(|&v| (v as f64 / acc_scale).abs().round() as i128)
+                .max()
+                .unwrap_or(0)
+        })
+        .unwrap_or(0);
+    in_dim as i128 * qp_span(x_qp) * qp_span(w_qp) + bias_max
+}
+
+/// Worst-case |accumulator| of one Theorem 1 aggregation row: `max_row_nnz`
+/// products of an adjacency code (`|code| ≤ 2^{b_a}`) with an activation
+/// code, plus the zero-point correction of the same order.
+fn spmm_acc_bound(qadj: &QuantCsr, h_qp: &QuantParams) -> i128 {
+    let a_span = 1i128 << qadj.bits().min(16);
+    let h_mag = qp_span(h_qp) + h_qp.zero_point.unsigned_abs() as i128;
+    qadj.max_row_nnz() as i128 * a_span * h_mag
+}
+
+/// Reconstructs the real-valued adjacency the integer path effectively uses
+/// (`code · scale`), for the `f32` fallback of a saturating layer.
+fn dequantize_qcsr(qadj: &QuantCsr, scale: f32) -> CsrMatrix {
+    let mut entries = Vec::with_capacity(qadj.nnz());
+    for r in 0..qadj.rows() {
+        for (c, v) in qadj.row(r) {
+            entries.push(CooEntry {
+                row: r,
+                col: c,
+                val: v as f32 * scale,
+            });
+        }
+    }
+    CsrMatrix::from_coo(qadj.rows(), qadj.cols(), entries)
+}
+
+/// Decides at `prepare` time whether layer `idx` must run the `f32`
+/// fallback: either the static bound crosses the ceiling, or the
+/// `acc_saturate` fault fires for this layer.
+fn layer_needs_fallback(idx: usize, bound: i128) -> bool {
+    let injected = mixq_faultinject::should_fire(FaultKind::AccSaturate, Some(idx as u64));
+    if injected {
+        // Forcing the graceful path *is* the recovery.
+        mixq_faultinject::mark_recovered();
+    }
+    let fallback = injected || bound >= ACC_SAT_LIMIT;
+    if fallback && mixq_telemetry::enabled() {
+        mixq_telemetry::counter_add("qinfer.fallback.layers", 1);
+    }
+    fallback
+}
+
+/// Adds a row-vector bias to every row of `m` in place.
+fn add_bias_rows(m: &mut Matrix, bias: &[f32]) {
+    assert_eq!(m.cols(), bias.len());
+    for r in 0..m.rows() {
+        for (c, &bv) in bias.iter().enumerate() {
+            let v = m.get(r, c) + bv;
+            m.set(r, c, v);
+        }
+    }
+}
 
 /// A dense integer tensor with its quantization parameters.
 #[derive(Debug, Clone)]
@@ -231,6 +323,14 @@ pub struct GcnSnapshot {
     pub layers: Vec<GcnLayerSnapshot>,
 }
 
+/// `f32` stand-in for one saturating GCN layer: the fake-quantized weight
+/// and the dequantized adjacency reproduce the integer semantics to within
+/// rounding, without `i64` accumulators.
+struct GcnFallback {
+    w_fake: Matrix,
+    adj_deq: CsrMatrix,
+}
+
 struct ExecLayer {
     wq: QTensor,
     bias: Option<Vec<f32>>,
@@ -238,6 +338,7 @@ struct ExecLayer {
     agg_qp: QuantParams,
     qadj: QuantCsr,
     adj_scale: f32,
+    fallback: Option<GcnFallback>,
 }
 
 /// The integer GCN executor: Fig. 5(iv) for the multi-layer GCN.
@@ -250,12 +351,21 @@ impl QuantizedGcn {
     /// Prepares integer weights and the quantized adjacency from a trained
     /// snapshot and the (normalized) adjacency.
     pub fn prepare(snapshot: &GcnSnapshot, adj_norm: &CsrMatrix) -> Self {
+        let mut x_qp = snapshot.input_qp;
         let layers = snapshot
             .layers
             .iter()
-            .map(|l| {
+            .enumerate()
+            .map(|(i, l)| {
                 let wq = QTensor::quantize(&l.weight, l.w_qp);
                 let (qadj, adj_scale) = quantize_csr_symmetric(adj_norm, l.adj_bits);
+                let bound = matmul_acc_bound(l.weight.rows(), &x_qp, &l.w_qp, l.bias.as_deref())
+                    .max(spmm_acc_bound(&qadj, &l.lin_qp));
+                let fallback = layer_needs_fallback(i, bound).then(|| GcnFallback {
+                    w_fake: l.weight.map(|v| l.w_qp.fake(v)),
+                    adj_deq: dequantize_qcsr(&qadj, adj_scale),
+                });
+                x_qp = l.agg_qp;
                 ExecLayer {
                     wq,
                     bias: l.bias.clone(),
@@ -263,6 +373,7 @@ impl QuantizedGcn {
                     agg_qp: l.agg_qp,
                     qadj,
                     adj_scale,
+                    fallback,
                 }
             })
             .collect();
@@ -279,9 +390,29 @@ impl QuantizedGcn {
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
             let t0 = mixq_telemetry::kernel_start();
-            let h = int_matmul_requant(&x, &layer.wq, layer.bias.as_deref(), layer.lin_qp);
-            // Sparse aggregation via Theorem 1 (Z_a = 0 by construction).
-            let mut yt = aggregate_theorem1(&layer.qadj, layer.adj_scale, &h, layer.agg_qp);
+            let mut yt = match &layer.fallback {
+                // Graceful f32 path for a layer whose integer accumulators
+                // could saturate: same fake-quantized semantics, no i64 acc.
+                Some(fb) => {
+                    let xf = x.dequantize();
+                    let mut lin = xf.matmul(&fb.w_fake);
+                    if let Some(b) = &layer.bias {
+                        add_bias_rows(&mut lin, b);
+                    }
+                    let lin = lin.map(|v| layer.lin_qp.fake(v));
+                    let agg = Matrix::from_vec(
+                        fb.adj_deq.rows(),
+                        lin.cols(),
+                        fb.adj_deq.spmm(lin.data(), lin.cols()),
+                    );
+                    QTensor::quantize(&agg, layer.agg_qp)
+                }
+                None => {
+                    let h = int_matmul_requant(&x, &layer.wq, layer.bias.as_deref(), layer.lin_qp);
+                    // Sparse aggregation via Theorem 1 (Z_a = 0 by construction).
+                    aggregate_theorem1(&layer.qadj, layer.adj_scale, &h, layer.agg_qp)
+                }
+            };
             if i < last {
                 yt.relu_inplace();
             }
@@ -402,6 +533,20 @@ mod tests {
     }
 
     #[test]
+    fn saturation_bounds_are_conservative_but_sane() {
+        let x_qp = QuantParams::from_min_max(-1.0, 1.0, 8);
+        let w_qp = QuantParams::symmetric(-1.0, 1.0, 8);
+        // A realistic 8-bit layer sits far below the ceiling …
+        let b = matmul_acc_bound(1024, &x_qp, &w_qp, Some(&[10.0]));
+        assert!(b < ACC_SAT_LIMIT, "8-bit layer must not trip the fallback");
+        // … but the bound still dominates the true worst case Σ|a||w|.
+        assert!(b >= 1024 * 255 * 254);
+        // An absurd inner dimension would cross it (analysis in i128, so
+        // this cannot itself overflow).
+        assert!(matmul_acc_bound(usize::MAX / 2, &x_qp, &w_qp, None) >= ACC_SAT_LIMIT);
+    }
+
+    #[test]
     fn quantize_csr_symmetric_preserves_structure() {
         use mixq_sparse::CooEntry;
         let a = CsrMatrix::from_coo(
@@ -451,6 +596,13 @@ pub struct SageSnapshot {
     pub layers: Vec<SageLayerSnapshot>,
 }
 
+/// `f32` stand-in for one saturating GraphSAGE layer (see [`GcnFallback`]).
+struct SageFallback {
+    wr_fake: Matrix,
+    wn_fake: Matrix,
+    adj_deq: CsrMatrix,
+}
+
 struct SageExecLayer {
     wr: QTensor,
     bias: Option<Vec<f32>>,
@@ -459,6 +611,7 @@ struct SageExecLayer {
     out_qp: QuantParams,
     qadj: QuantCsr,
     adj_scale: f32,
+    fallback: Option<SageFallback>,
 }
 
 /// Integer GraphSAGE executor: `y = clip(root + neigh − z_out)` where both
@@ -476,11 +629,28 @@ pub struct QuantizedSage {
 impl QuantizedSage {
     /// Prepares integer weights and the quantized mean-aggregator adjacency.
     pub fn prepare(snapshot: &SageSnapshot, adj_mean: &CsrMatrix) -> Self {
+        let mut x_qp = snapshot.input_qp;
         let layers = snapshot
             .layers
             .iter()
-            .map(|l| {
+            .enumerate()
+            .map(|(i, l)| {
                 let (qadj, adj_scale) = quantize_csr_symmetric(adj_mean, l.adj_bits);
+                let bound =
+                    matmul_acc_bound(l.w_root.rows(), &x_qp, &l.w_root_qp, l.bias.as_deref())
+                        .max(matmul_acc_bound(
+                            l.w_neigh.rows(),
+                            &l.agg_qp,
+                            &l.w_neigh_qp,
+                            None,
+                        ))
+                        .max(spmm_acc_bound(&qadj, &x_qp));
+                let fallback = layer_needs_fallback(i, bound).then(|| SageFallback {
+                    wr_fake: l.w_root.map(|v| l.w_root_qp.fake(v)),
+                    wn_fake: l.w_neigh.map(|v| l.w_neigh_qp.fake(v)),
+                    adj_deq: dequantize_qcsr(&qadj, adj_scale),
+                });
+                x_qp = l.out_qp;
                 SageExecLayer {
                     wr: QTensor::quantize(&l.w_root, l.w_root_qp),
                     bias: l.bias.clone(),
@@ -489,6 +659,7 @@ impl QuantizedSage {
                     out_qp: l.out_qp,
                     qadj,
                     adj_scale,
+                    fallback,
                 }
             })
             .collect();
@@ -505,28 +676,53 @@ impl QuantizedSage {
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
             let t0 = mixq_telemetry::kernel_start();
-            // Neighbour mean aggregation (Theorem 1, Z_a = 0).
-            let agg = aggregate_theorem1(&layer.qadj, layer.adj_scale, &x, layer.agg_qp);
+            let mut y = match &layer.fallback {
+                // Graceful f32 path for a layer whose integer accumulators
+                // could saturate: same fake-quantized semantics, no i64 acc.
+                Some(fb) => {
+                    let xf = x.dequantize();
+                    let agg = Matrix::from_vec(
+                        fb.adj_deq.rows(),
+                        xf.cols(),
+                        fb.adj_deq.spmm(xf.data(), xf.cols()),
+                    )
+                    .map(|v| layer.agg_qp.fake(v));
+                    let mut root = xf.matmul(&fb.wr_fake);
+                    if let Some(b) = &layer.bias {
+                        add_bias_rows(&mut root, b);
+                    }
+                    let root = root.map(|v| layer.out_qp.fake(v));
+                    let neigh = agg.matmul(&fb.wn_fake).map(|v| layer.out_qp.fake(v));
+                    let (lo, hi) = layer.out_qp.real_range();
+                    let sum = root.zip(&neigh, |a, b| (a + b).clamp(lo, hi));
+                    QTensor::quantize(&sum, layer.out_qp)
+                }
+                None => {
+                    // Neighbour mean aggregation (Theorem 1, Z_a = 0).
+                    let agg = aggregate_theorem1(&layer.qadj, layer.adj_scale, &x, layer.agg_qp);
 
-            // Both branches requantize directly into the output quantizer.
-            let root = int_matmul_requant(&x, &layer.wr, layer.bias.as_deref(), layer.out_qp);
-            let neigh = int_matmul_requant(&agg, &layer.wn, None, layer.out_qp);
-            let z = layer.out_qp.zero_point as i64;
-            let data: Vec<i32> = root
-                .data
-                .iter()
-                .zip(neigh.data.iter())
-                .map(|(&a, &b)| {
-                    (a as i64 + b as i64 - z)
-                        .clamp(layer.out_qp.qmin as i64, layer.out_qp.qmax as i64)
-                        as i32
-                })
-                .collect();
-            let mut y = QTensor {
-                rows: root.rows,
-                cols: root.cols,
-                data,
-                qp: layer.out_qp,
+                    // Both branches requantize directly into the output quantizer.
+                    let root =
+                        int_matmul_requant(&x, &layer.wr, layer.bias.as_deref(), layer.out_qp);
+                    let neigh = int_matmul_requant(&agg, &layer.wn, None, layer.out_qp);
+                    let z = layer.out_qp.zero_point as i64;
+                    let data: Vec<i32> = root
+                        .data
+                        .iter()
+                        .zip(neigh.data.iter())
+                        .map(|(&a, &b)| {
+                            (a as i64 + b as i64 - z)
+                                .clamp(layer.out_qp.qmin as i64, layer.out_qp.qmax as i64)
+                                as i32
+                        })
+                        .collect();
+                    QTensor {
+                        rows: root.rows,
+                        cols: root.cols,
+                        data,
+                        qp: layer.out_qp,
+                    }
+                }
             };
             if i < last {
                 y.relu_inplace();

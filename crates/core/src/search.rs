@@ -6,7 +6,10 @@
 //! instantiate and train the corresponding fixed-bit QAT net.
 
 use mixq_graph::{NodeDataset, NodeTargets};
-use mixq_nn::{Adam, Binding, Fwd, GraphBundle, NodeBundle, ParamId, ParamSet};
+use mixq_nn::{
+    load_train_state, save_train_state, Adam, Binding, CheckpointConfig, Fwd, GraphBundle,
+    NodeBundle, ParamId, ParamSet, TrainState,
+};
 use mixq_tensor::{softmax_slice, Rng, Tape, Var};
 
 use crate::bits::BitAssignment;
@@ -25,6 +28,17 @@ pub struct SearchConfig {
     /// (DARTS-style warm-up; prevents the early-training shrinkage bias
     /// from capturing the bit-width choice).
     pub warmup: usize,
+    /// Divergence recovery: consecutive retries of one epoch before the
+    /// search stops early (mirrors `TrainConfig::max_retries`).
+    pub max_retries: usize,
+    /// LR multiplier applied from the second retry of an epoch onward.
+    pub backoff: f32,
+    /// Periodic crash-safe checkpointing of the relaxed search state.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Resume from this checkpoint if it exists (missing files start
+    /// fresh; unreadable or mismatched ones start fresh and bump the
+    /// `search.resume_failures` telemetry counter).
+    pub resume_from: Option<std::path::PathBuf>,
 }
 
 impl Default for SearchConfig {
@@ -35,6 +49,10 @@ impl Default for SearchConfig {
             lambda: 0.1,
             seed: 0,
             warmup: 25,
+            max_retries: 3,
+            backoff: 0.5,
+            checkpoint: None,
+            resume_from: None,
         }
     }
 }
@@ -53,6 +71,13 @@ impl Default for SearchConfig {
 /// number of penalized elements (so `λ·Σ C` has the scale of an
 /// element-weighted average bit-width, keeping λ's useful range
 /// dataset-size independent).
+/// Divergence recovery mirrors [`mixq_nn::train_node`]: a non-finite loss
+/// or gradient rolls the whole epoch (Θ **and** α step) back to its start
+/// snapshot with bounded retries — the first retry re-runs unchanged, later
+/// ones shrink the LR by `cfg.backoff`. Exhausting `cfg.max_retries`
+/// restores the last finite state and stops the search early (bumping
+/// `search.divergence_aborts`), so the extracted assignment always comes
+/// from finite α logits.
 fn train_relaxed(
     ps: &mut ParamSet,
     cfg: &SearchConfig,
@@ -61,7 +86,32 @@ fn train_relaxed(
 ) {
     let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut opt = Adam::new(cfg.lr);
-    for epoch in 0..cfg.epochs {
+    let mut recovered = 0usize;
+    let mut start_epoch = 0usize;
+
+    if let Some(path) = &cfg.resume_from {
+        if path.exists() {
+            match load_train_state(path) {
+                Ok(st)
+                    if st.params.len() == ps.len()
+                        && st.params.num_scalars() == ps.num_scalars() =>
+                {
+                    *ps = st.params;
+                    opt.lr = st.lr;
+                    opt.set_step_count(st.adam_t);
+                    rng = Rng::from_state(st.rng_state);
+                    recovered = st.recovered;
+                    start_epoch = st.epoch;
+                }
+                _ => mixq_telemetry::counter_add("search.resume_failures", 1),
+            }
+        }
+    }
+
+    let mut retries = 0usize;
+    let mut epoch = start_epoch;
+    while epoch < cfg.epochs {
+        let snap = (ps.clone(), opt.clone(), rng.clone());
         let _epoch_span = mixq_telemetry::span("search/epoch");
         // ---- Θ step on the training loss (α frozen) ----
         ps.zero_grads();
@@ -77,56 +127,120 @@ fn train_relaxed(
             };
             fwd_loss(&mut f, false)
         };
+        let theta_loss = tape.value(loss).item() as f64;
         tape.backward(loss);
         ps.pull_grads(&binding, &tape);
         for &id in alpha_ids {
             ps.grad_zero(id);
         }
-        opt.step(ps);
+        let injected =
+            mixq_faultinject::should_fire(mixq_faultinject::FaultKind::GradNan, Some(epoch as u64));
+        if injected {
+            if let Some(&id) = ps.all_ids().first() {
+                ps.grad_mut(id).data_mut()[0] = f32::NAN;
+            }
+        }
+        let mut healthy = theta_loss.is_finite() && ps.grads_finite();
+        if healthy {
+            opt.step(ps);
 
-        // ---- α step on the validation loss + penalty (Θ frozen) ----
-        if epoch >= cfg.warmup {
-            ps.zero_grads();
-            let mut tape = Tape::new();
-            let mut binding = Binding::new();
-            let (loss, pens) = {
-                let mut f = Fwd {
-                    tape: &mut tape,
-                    ps,
-                    binding: &mut binding,
-                    rng: &mut rng,
-                    training: false,
+            // ---- α step on the validation loss + penalty (Θ frozen) ----
+            if epoch >= cfg.warmup {
+                ps.zero_grads();
+                let mut tape = Tape::new();
+                let mut binding = Binding::new();
+                let (loss, pens) = {
+                    let mut f = Fwd {
+                        tape: &mut tape,
+                        ps,
+                        binding: &mut binding,
+                        rng: &mut rng,
+                        training: false,
+                    };
+                    fwd_loss(&mut f, true)
                 };
-                fwd_loss(&mut f, true)
-            };
-            let total_elems: usize = pens.iter().map(|&(_, n)| n).sum();
-            // bit_penalty is already divided by 1024·8; undo that and divide
-            // by the architecture size instead.
-            // The 0.15 factor calibrates λ's useful range to the paper's
-            // reported [−0.1, 1] interval (see Fig. 9 reproduction).
-            let norm = 0.02 * cfg.lambda * (1024.0 * 8.0) / total_elems.max(1) as f32;
-            if mixq_telemetry::enabled() {
-                // The λ·ΣC(T) penalty actually added to the α objective.
-                let penalty: f64 = pens
-                    .iter()
-                    .map(|&(p, _)| tape.value(p).item() as f64 * norm as f64)
-                    .sum();
-                mixq_telemetry::series_push("search.penalty", penalty);
-            }
-            let mut total = loss;
-            for (p, _) in pens {
-                let sp = tape.scale(p, norm);
-                total = tape.add(total, sp);
-            }
-            tape.backward(total);
-            ps.pull_grads(&binding, &tape);
-            for id in ps.all_ids() {
-                if !alpha_ids.contains(&id) {
-                    ps.grad_zero(id);
+                let total_elems: usize = pens.iter().map(|&(_, n)| n).sum();
+                // bit_penalty is already divided by 1024·8; undo that and divide
+                // by the architecture size instead.
+                // The 0.15 factor calibrates λ's useful range to the paper's
+                // reported [−0.1, 1] interval (see Fig. 9 reproduction).
+                let norm = 0.02 * cfg.lambda * (1024.0 * 8.0) / total_elems.max(1) as f32;
+                if mixq_telemetry::enabled() {
+                    // The λ·ΣC(T) penalty actually added to the α objective.
+                    let penalty: f64 = pens
+                        .iter()
+                        .map(|&(p, _)| tape.value(p).item() as f64 * norm as f64)
+                        .sum();
+                    mixq_telemetry::series_push("search.penalty", penalty);
+                }
+                let mut total = loss;
+                for (p, _) in pens {
+                    let sp = tape.scale(p, norm);
+                    total = tape.add(total, sp);
+                }
+                let alpha_loss = tape.value(total).item() as f64;
+                tape.backward(total);
+                ps.pull_grads(&binding, &tape);
+                for id in ps.all_ids() {
+                    if !alpha_ids.contains(&id) {
+                        ps.grad_zero(id);
+                    }
+                }
+                healthy = alpha_loss.is_finite() && ps.grads_finite();
+                if healthy {
+                    opt.step(ps);
                 }
             }
-            opt.step(ps);
         }
+
+        if !healthy {
+            if retries >= cfg.max_retries {
+                // Give up: restore the last finite state so extract()
+                // reads sane α logits, and stop the search early.
+                let (sp, _, _) = snap;
+                *ps = sp;
+                mixq_telemetry::counter_add("search.divergence_aborts", 1);
+                break;
+            }
+            retries += 1;
+            recovered += 1;
+            let (sp, so, sr) = snap;
+            *ps = sp;
+            opt = so;
+            rng = sr;
+            if retries > 1 {
+                opt.lr *= cfg.backoff;
+            }
+            mixq_telemetry::counter_add("search.divergence_rollbacks", 1);
+            if injected {
+                mixq_faultinject::mark_recovered();
+            }
+            continue;
+        }
+        retries = 0;
+
+        if let Some(ck) = &cfg.checkpoint {
+            if (epoch + 1).is_multiple_of(ck.every) {
+                let st = TrainState {
+                    epoch: epoch + 1,
+                    lr: opt.lr,
+                    adam_t: opt.step_count(),
+                    rng_state: rng.state(),
+                    best_val: f64::NEG_INFINITY,
+                    best_epoch: 0,
+                    recovered,
+                    params: ps.clone(),
+                    best_params: ParamSet::new(),
+                };
+                if save_train_state(&st, &ck.path).is_err() {
+                    mixq_telemetry::counter_add("search.checkpoint_failures", 1);
+                    if mixq_faultinject::enabled() {
+                        mixq_faultinject::mark_recovered();
+                    }
+                }
+            }
+        }
+        epoch += 1;
 
         if mixq_telemetry::enabled() && !alpha_ids.is_empty() {
             // Mean Shannon entropy of the α softmax distributions: high at
@@ -344,6 +458,7 @@ mod tests {
                 lambda: 50.0,
                 seed: 1,
                 warmup: 5,
+                ..SearchConfig::default()
             },
         );
         let wide = search_gcn_bits(
@@ -358,6 +473,7 @@ mod tests {
                 lambda: -50.0,
                 seed: 1,
                 warmup: 5,
+                ..SearchConfig::default()
             },
         );
         assert!(
@@ -395,6 +511,7 @@ mod tests {
                 lambda: 0.1,
                 seed: 2,
                 warmup: 2,
+                ..SearchConfig::default()
             },
         );
         assert_eq!(a.len(), 9, "2-layer GCN has 9 components");

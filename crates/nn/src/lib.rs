@@ -21,10 +21,13 @@ pub use metrics::{
     accuracy, confusion_matrix, macro_f1, mean_std, pearson, roc_auc, roc_auc_mean, spearman,
 };
 pub use models::{
-    eval_graph, eval_node, train_graph, train_node, AppnpNet, GatNet, GcnGraphNet, GcnNet,
-    GinGraphNet, GinNet, GraphBundle, GraphNet, NodeBundle, NodeNet, SageNet, SgcNet, TagNet,
-    TrainConfig, TrainConfigBuilder, TrainReport, UniMpNet,
+    eval_graph, eval_node, train_graph, train_node, AppnpNet, CheckpointConfig, GatNet,
+    GcnGraphNet, GcnNet, GinGraphNet, GinNet, GraphBundle, GraphNet, GraphTrainReport, NodeBundle,
+    NodeNet, SageNet, SgcNet, TagNet, TrainConfig, TrainConfigBuilder, TrainReport, UniMpNet,
 };
 pub use optim::{clip_grad_norm, Adam, LrSchedule, Sgd};
 pub use param::{Binding, Fwd, Param, ParamId, ParamSet};
-pub use serialize::{load_params, params_from_string, params_to_string, save_params};
+pub use serialize::{
+    atomic_write, load_params, load_train_state, params_from_string, params_to_string, save_params,
+    save_train_state, TrainState,
+};

@@ -5,6 +5,7 @@
 //! quantized/relaxed architectures in `mixq-core` implement the same traits,
 //! so every experiment shares [`train_node`] / [`train_graph`].
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use mixq_graph::{batch_graphs, GraphDataset, NodeDataset, NodeTargets};
@@ -16,8 +17,9 @@ use crate::conv::{
 };
 use crate::layers::{Linear, Mlp};
 use crate::metrics::{accuracy, roc_auc_mean};
-use crate::optim::Adam;
+use crate::optim::{clip_grad_norm, Adam};
 use crate::param::{Binding, Fwd, ParamSet};
+use crate::serialize::{load_train_state, save_train_state, TrainState};
 
 /// Preprocessed views of one node-classification graph: features plus the
 /// three adjacency flavours the layer zoo needs, each with its transpose.
@@ -490,6 +492,16 @@ impl GraphNet for GcnGraphNet {
 
 // ---- training loops ----------------------------------------------------------
 
+/// Periodic crash-safe checkpointing of a training run.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// File the train state is written to (atomically; see
+    /// [`crate::serialize::atomic_write`]).
+    pub path: PathBuf,
+    /// Write every `every` epochs (validated ≥ 1 by the builder).
+    pub every: usize,
+}
+
 #[derive(Debug, Clone)]
 pub struct TrainConfig {
     pub epochs: usize,
@@ -498,6 +510,23 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Early-stopping patience in epochs (0 disables early stopping).
     pub patience: usize,
+    /// Divergence recovery: how many consecutive retries of one epoch are
+    /// allowed before the run is declared diverged. The first retry re-runs
+    /// the epoch unchanged from the last good snapshot (enough for
+    /// transient faults); later retries also multiply the LR by `backoff`.
+    pub max_retries: usize,
+    /// LR multiplier applied from the second retry of an epoch onward.
+    pub backoff: f32,
+    /// Global gradient-norm clip applied before each optimizer step
+    /// (`None` disables clipping; validated finite and > 0 by the builder).
+    pub grad_clip: Option<f32>,
+    /// Periodic crash-safe checkpointing (`None` disables it).
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Resume from this train-state checkpoint if the file exists. A
+    /// missing file starts fresh (so first runs and restarts share one
+    /// config); an unreadable or shape-mismatched file also starts fresh
+    /// and bumps the `train.resume_failures` telemetry counter.
+    pub resume_from: Option<PathBuf>,
 }
 
 impl Default for TrainConfig {
@@ -508,6 +537,11 @@ impl Default for TrainConfig {
             weight_decay: 5e-4,
             seed: 0,
             patience: 40,
+            max_retries: 3,
+            backoff: 0.5,
+            grad_clip: None,
+            checkpoint: None,
+            resume_from: None,
         }
     }
 }
@@ -557,8 +591,45 @@ impl TrainConfigBuilder {
         self
     }
 
+    /// Maximum consecutive divergence-recovery retries per epoch.
+    pub fn max_retries(mut self, max_retries: usize) -> Self {
+        self.cfg.max_retries = max_retries;
+        self
+    }
+
+    /// LR multiplier applied from the second retry of an epoch onward.
+    pub fn backoff(mut self, backoff: f32) -> Self {
+        self.cfg.backoff = backoff;
+        self
+    }
+
+    /// Global gradient-norm clip applied before each optimizer step.
+    pub fn grad_clip(mut self, max_norm: f32) -> Self {
+        self.cfg.grad_clip = Some(max_norm);
+        self
+    }
+
+    /// Write a crash-safe train-state checkpoint to `path` every `every`
+    /// epochs.
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>, every: usize) -> Self {
+        self.cfg.checkpoint = Some(CheckpointConfig {
+            path: path.into(),
+            every,
+        });
+        self
+    }
+
+    /// Resume from this checkpoint if it exists (see
+    /// [`TrainConfig::resume_from`]).
+    pub fn resume_from(mut self, path: impl Into<PathBuf>) -> Self {
+        self.cfg.resume_from = Some(path.into());
+        self
+    }
+
     /// Validates the assembled configuration: at least one epoch, a finite
-    /// learning rate in `(0, 1]`, and a finite non-negative weight decay.
+    /// learning rate in `(0, 1]`, a finite non-negative weight decay, a
+    /// backoff factor in `(0, 1]`, a positive finite grad clip (when set)
+    /// and a checkpoint interval ≥ 1 (when set).
     pub fn build(self) -> MixqResult<TrainConfig> {
         let c = &self.cfg;
         if c.epochs == 0 {
@@ -579,6 +650,28 @@ impl TrainConfigBuilder {
                 ),
             ));
         }
+        if !c.backoff.is_finite() || c.backoff <= 0.0 || c.backoff > 1.0 {
+            return Err(MixqError::config(
+                "TrainConfig",
+                format!("backoff must be in (0, 1], got {}", c.backoff),
+            ));
+        }
+        if let Some(clip) = c.grad_clip {
+            if !clip.is_finite() || clip <= 0.0 {
+                return Err(MixqError::config(
+                    "TrainConfig",
+                    format!("grad_clip must be finite and > 0, got {clip}"),
+                ));
+            }
+        }
+        if let Some(ck) = &c.checkpoint {
+            if ck.every == 0 {
+                return Err(MixqError::config(
+                    "TrainConfig",
+                    "checkpoint interval must be >= 1",
+                ));
+            }
+        }
         Ok(self.cfg)
     }
 }
@@ -589,11 +682,104 @@ pub struct TrainReport {
     pub test_metric: f64,
     pub best_epoch: usize,
     pub final_train_loss: f64,
+    /// Divergences absorbed by rollback + retry (0 for a clean run).
+    pub recovered_divergences: usize,
+    /// `true` when an epoch stayed non-finite after `max_retries` retries
+    /// and training stopped early. The reported metrics still come from the
+    /// best (finite) parameters seen before the divergence.
+    pub diverged: bool,
+}
+
+/// Result of [`train_graph`].
+#[derive(Debug, Clone)]
+pub struct GraphTrainReport {
+    pub train_acc: f64,
+    pub test_acc: f64,
+    pub final_train_loss: f64,
+    /// Divergences absorbed by rollback + retry (0 for a clean run).
+    pub recovered_divergences: usize,
+    /// `true` when recovery retries were exhausted and training stopped
+    /// early (accuracies then reflect the last finite parameters).
+    pub diverged: bool,
+}
+
+/// Loads the resume checkpoint named by `cfg.resume_from`, if any. Missing
+/// files start fresh silently (first run and restart share one config);
+/// unreadable or shape-mismatched states start fresh and bump `counter`.
+fn load_resume_state(cfg: &TrainConfig, ps: &ParamSet, counter: &str) -> Option<TrainState> {
+    let path = cfg.resume_from.as_ref()?;
+    if !path.exists() {
+        return None;
+    }
+    match load_train_state(path) {
+        Ok(st) if st.params.len() == ps.len() && st.params.num_scalars() == ps.num_scalars() => {
+            Some(st)
+        }
+        _ => {
+            mixq_telemetry::counter_add(counter, 1);
+            None
+        }
+    }
+}
+
+/// One epoch's rollback snapshot: parameters (with Adam moments), optimizer
+/// scalars (incl. step count) and the RNG stream position.
+type Snapshot = (ParamSet, Adam, Rng);
+
+/// Shared per-epoch divergence handling: after `pull_grads`, checks that
+/// the loss and every gradient are finite; on divergence restores the
+/// epoch-start snapshot and schedules a retry (the first retry re-runs the
+/// epoch unchanged, later ones also multiply the LR by `cfg.backoff`).
+///
+/// Returns `Some(true)` for "healthy, proceed", `Some(false)` for "rolled
+/// back, retry the epoch", `None` for "retries exhausted, stop: diverged".
+#[allow(clippy::too_many_arguments)]
+fn check_divergence(
+    cfg: &TrainConfig,
+    loss: f64,
+    injected: bool,
+    snap: Snapshot,
+    ps: &mut ParamSet,
+    opt: &mut Adam,
+    rng: &mut Rng,
+    retries: &mut usize,
+    recovered: &mut usize,
+    counter: &str,
+) -> Option<bool> {
+    if loss.is_finite() && ps.grads_finite() {
+        *retries = 0;
+        return Some(true);
+    }
+    if *retries >= cfg.max_retries {
+        return None;
+    }
+    *retries += 1;
+    *recovered += 1;
+    let (sp, so, sr) = snap;
+    *ps = sp;
+    *opt = so;
+    *rng = sr;
+    if *retries > 1 {
+        opt.lr *= cfg.backoff;
+    }
+    mixq_telemetry::counter_add(counter, 1);
+    if injected {
+        mixq_faultinject::mark_recovered();
+    }
+    Some(false)
 }
 
 /// Trains a node-classification network full-batch with Adam, selecting the
 /// parameters at the best validation metric (accuracy or ROC-AUC, depending
 /// on the dataset's targets) and reporting the matching test metric.
+///
+/// Non-finite losses or gradients trigger rollback to the epoch-start
+/// snapshot with bounded retries (see [`TrainConfig::max_retries`]); the
+/// outcome is surfaced in [`TrainReport::recovered_divergences`] /
+/// [`TrainReport::diverged`]. With [`TrainConfig::checkpoint`] set, a
+/// crash-safe [`TrainState`] is written periodically, and
+/// [`TrainConfig::resume_from`] continues an interrupted run bit-identically
+/// to an uninterrupted one.
 pub fn train_node<M: NodeNet>(
     model: &mut M,
     ps: &mut ParamSet,
@@ -607,8 +793,30 @@ pub fn train_node<M: NodeNet>(
     let mut best_epoch = 0usize;
     let mut best_ps = ps.clone();
     let mut last_loss = f64::NAN;
+    let mut recovered = 0usize;
+    let mut diverged = false;
+    let mut start_epoch = 0usize;
 
-    for epoch in 0..cfg.epochs {
+    if let Some(st) = load_resume_state(cfg, ps, "train.resume_failures") {
+        *ps = st.params;
+        opt.lr = st.lr;
+        opt.set_step_count(st.adam_t);
+        rng = Rng::from_state(st.rng_state);
+        best_val = st.best_val;
+        best_epoch = st.best_epoch;
+        recovered = st.recovered;
+        best_ps = if st.best_params.is_empty() {
+            ps.clone()
+        } else {
+            st.best_params
+        };
+        start_epoch = st.epoch;
+    }
+
+    let mut retries = 0usize;
+    let mut epoch = start_epoch;
+    while epoch < cfg.epochs {
+        let snap: Snapshot = (ps.clone(), opt.clone(), rng.clone());
         let _epoch_span = mixq_telemetry::span("train_node/epoch");
         ps.zero_grads();
         let mut tape = Tape::new();
@@ -634,22 +842,81 @@ pub fn train_node<M: NodeNet>(
         tape.backward(loss);
         ps.pull_grads(&binding, &tape);
 
+        let injected =
+            mixq_faultinject::should_fire(mixq_faultinject::FaultKind::GradNan, Some(epoch as u64));
+        if injected {
+            if let Some(&id) = ps.all_ids().first() {
+                ps.grad_mut(id).data_mut()[0] = f32::NAN;
+            }
+        }
+        match check_divergence(
+            cfg,
+            last_loss,
+            injected,
+            snap,
+            ps,
+            &mut opt,
+            &mut rng,
+            &mut retries,
+            &mut recovered,
+            "train.divergence_rollbacks",
+        ) {
+            Some(true) => {}
+            Some(false) => continue,
+            None => {
+                diverged = true;
+                break;
+            }
+        }
+
+        let pre_clip_norm = cfg.grad_clip.map(|maxn| clip_grad_norm(ps, maxn) as f64);
         if mixq_telemetry::enabled() {
             mixq_telemetry::series_push("train.loss", last_loss);
-            mixq_telemetry::series_push("train.lr", cfg.lr as f64);
-            mixq_telemetry::series_push("train.grad_norm", ps.grad_norm());
+            mixq_telemetry::series_push("train.lr", opt.lr as f64);
+            mixq_telemetry::series_push(
+                "train.grad_norm",
+                pre_clip_norm.unwrap_or_else(|| ps.grad_norm()),
+            );
         }
         opt.step(ps);
 
         let val = eval_node(model, ps, ds, bundle, &ds.val_idx, &mut rng);
         mixq_telemetry::series_push("train.val_metric", val);
+        let mut stop = false;
         if val > best_val {
             best_val = val;
             best_epoch = epoch;
             best_ps = ps.clone();
         } else if cfg.patience > 0 && epoch - best_epoch >= cfg.patience {
+            stop = true;
+        }
+        if let Some(ck) = &cfg.checkpoint {
+            if (epoch + 1).is_multiple_of(ck.every) {
+                let st = TrainState {
+                    epoch: epoch + 1,
+                    lr: opt.lr,
+                    adam_t: opt.step_count(),
+                    rng_state: rng.state(),
+                    best_val,
+                    best_epoch,
+                    recovered,
+                    params: ps.clone(),
+                    best_params: best_ps.clone(),
+                };
+                if save_train_state(&st, &ck.path).is_err() {
+                    // Checkpointing must never kill training: count it,
+                    // keep the previous durable checkpoint, move on.
+                    mixq_telemetry::counter_add("train.checkpoint_failures", 1);
+                    if mixq_faultinject::enabled() {
+                        mixq_faultinject::mark_recovered();
+                    }
+                }
+            }
+        }
+        if stop {
             break;
         }
+        epoch += 1;
     }
     *ps = best_ps;
     let test_metric = eval_node(model, ps, ds, bundle, &ds.test_idx, &mut rng);
@@ -658,6 +925,8 @@ pub fn train_node<M: NodeNet>(
         test_metric,
         best_epoch,
         final_train_loss: last_loss,
+        recovered_divergences: recovered,
+        diverged,
     }
 }
 
@@ -687,19 +956,37 @@ pub fn eval_node<M: NodeNet>(
     }
 }
 
-/// Trains a graph-classification network full-batch on `train` and returns
-/// `(train_accuracy, test_accuracy)` of the final model.
+/// Trains a graph-classification network full-batch on `train` and reports
+/// train/test accuracy of the final model, with the same divergence
+/// recovery, checkpointing and resume behaviour as [`train_node`].
 pub fn train_graph<M: GraphNet>(
     model: &mut M,
     ps: &mut ParamSet,
     train: &GraphBundle,
     test: &GraphBundle,
     cfg: &TrainConfig,
-) -> (f64, f64) {
+) -> GraphTrainReport {
     let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
     let rows: Vec<usize> = (0..train.num_graphs()).collect();
-    for _ in 0..cfg.epochs {
+    let mut last_loss = f64::NAN;
+    let mut recovered = 0usize;
+    let mut diverged = false;
+    let mut start_epoch = 0usize;
+
+    if let Some(st) = load_resume_state(cfg, ps, "train_graph.resume_failures") {
+        *ps = st.params;
+        opt.lr = st.lr;
+        opt.set_step_count(st.adam_t);
+        rng = Rng::from_state(st.rng_state);
+        recovered = st.recovered;
+        start_epoch = st.epoch;
+    }
+
+    let mut retries = 0usize;
+    let mut epoch = start_epoch;
+    while epoch < cfg.epochs {
+        let snap: Snapshot = (ps.clone(), opt.clone(), rng.clone());
         let _epoch_span = mixq_telemetry::span("train_graph/epoch");
         ps.zero_grads();
         let mut tape = Tape::new();
@@ -715,14 +1002,70 @@ pub fn train_graph<M: GraphNet>(
         let logits = model.forward(&mut f, train, x);
         let lp = tape.log_softmax(logits);
         let loss = tape.nll_masked(lp, &rows, &train.labels);
+        last_loss = tape.value(loss).item() as f64;
         tape.backward(loss);
         ps.pull_grads(&binding, &tape);
+
+        let injected =
+            mixq_faultinject::should_fire(mixq_faultinject::FaultKind::GradNan, Some(epoch as u64));
+        if injected {
+            if let Some(&id) = ps.all_ids().first() {
+                ps.grad_mut(id).data_mut()[0] = f32::NAN;
+            }
+        }
+        match check_divergence(
+            cfg,
+            last_loss,
+            injected,
+            snap,
+            ps,
+            &mut opt,
+            &mut rng,
+            &mut retries,
+            &mut recovered,
+            "train_graph.divergence_rollbacks",
+        ) {
+            Some(true) => {}
+            Some(false) => continue,
+            None => {
+                diverged = true;
+                break;
+            }
+        }
+
+        let pre_clip_norm = cfg.grad_clip.map(|maxn| clip_grad_norm(ps, maxn) as f64);
         if mixq_telemetry::enabled() {
-            mixq_telemetry::series_push("train_graph.loss", tape.value(loss).item() as f64);
-            mixq_telemetry::series_push("train_graph.lr", cfg.lr as f64);
-            mixq_telemetry::series_push("train_graph.grad_norm", ps.grad_norm());
+            mixq_telemetry::series_push("train_graph.loss", last_loss);
+            mixq_telemetry::series_push("train_graph.lr", opt.lr as f64);
+            mixq_telemetry::series_push(
+                "train_graph.grad_norm",
+                pre_clip_norm.unwrap_or_else(|| ps.grad_norm()),
+            );
         }
         opt.step(ps);
+
+        if let Some(ck) = &cfg.checkpoint {
+            if (epoch + 1).is_multiple_of(ck.every) {
+                let st = TrainState {
+                    epoch: epoch + 1,
+                    lr: opt.lr,
+                    adam_t: opt.step_count(),
+                    rng_state: rng.state(),
+                    best_val: f64::NEG_INFINITY,
+                    best_epoch: 0,
+                    recovered,
+                    params: ps.clone(),
+                    best_params: ParamSet::new(),
+                };
+                if save_train_state(&st, &ck.path).is_err() {
+                    mixq_telemetry::counter_add("train_graph.checkpoint_failures", 1);
+                    if mixq_faultinject::enabled() {
+                        mixq_faultinject::mark_recovered();
+                    }
+                }
+            }
+        }
+        epoch += 1;
     }
     let train_acc = eval_graph(model, ps, train, &mut rng);
     let test_acc = eval_graph(model, ps, test, &mut rng);
@@ -730,7 +1073,13 @@ pub fn train_graph<M: GraphNet>(
         mixq_telemetry::gauge_set("train_graph.train_accuracy", train_acc);
         mixq_telemetry::gauge_set("train_graph.test_accuracy", test_acc);
     }
-    (train_acc, test_acc)
+    GraphTrainReport {
+        train_acc,
+        test_acc,
+        final_train_loss: last_loss,
+        recovered_divergences: recovered,
+        diverged,
+    }
 }
 
 /// Accuracy of a graph network on a bundle.
@@ -795,6 +1144,7 @@ mod trainer_tests {
             weight_decay: 0.0,
             seed: 0,
             patience: 10,
+            ..TrainConfig::default()
         };
         let rep = train_node(&mut net, &mut ps, &ds, &bundle, &cfg);
         // After training, evaluating with the restored parameters must give
@@ -822,6 +1172,7 @@ mod trainer_tests {
             weight_decay: 0.0,
             seed: 0,
             patience: 0,
+            ..TrainConfig::default()
         };
         let rep = train_node(&mut net, &mut ps, &ds, &bundle, &cfg);
         assert!(rep.best_epoch < 12);

@@ -30,6 +30,17 @@ impl Adam {
         self
     }
 
+    /// Number of update steps taken so far (drives bias correction).
+    pub fn step_count(&self) -> u64 {
+        self.t
+    }
+
+    /// Restores the step counter, e.g. when resuming from a checkpoint so
+    /// bias correction continues exactly where the interrupted run stopped.
+    pub fn set_step_count(&mut self, t: u64) {
+        self.t = t;
+    }
+
     /// One update step using the gradients currently stored in `ps`.
     pub fn step(&mut self, ps: &mut ParamSet) {
         self.t += 1;

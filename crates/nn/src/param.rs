@@ -66,6 +66,12 @@ impl ParamSet {
         &self.params[id.0].grad
     }
 
+    /// Mutable gradient access (fault-injection sites and custom
+    /// regularizers write through this).
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.params[id.0].grad
+    }
+
     pub fn len(&self) -> usize {
         self.params.len()
     }
@@ -91,6 +97,19 @@ impl ParamSet {
             .sqrt()
     }
 
+    /// `true` iff every parameter *value* is finite. Checked before taking
+    /// a checkpoint and when deciding whether a rollback is needed.
+    pub fn all_finite(&self) -> bool {
+        self.params.iter().all(|p| !p.value.has_non_finite())
+    }
+
+    /// `true` iff every gradient buffer is finite. The training loops run
+    /// this after `pull_grads` to detect divergence before the optimizer
+    /// can propagate NaN/Inf into the weights.
+    pub fn grads_finite(&self) -> bool {
+        self.params.iter().all(|p| !p.grad.has_non_finite())
+    }
+
     /// Zeroes the gradient of one parameter (used to freeze it for a step).
     pub fn grad_zero(&mut self, id: ParamId) {
         self.params[id.0].grad.data_mut().fill(0.0);
@@ -100,6 +119,10 @@ impl ParamSet {
         for p in &mut self.params {
             p.grad.data_mut().fill(0.0);
         }
+    }
+
+    pub(crate) fn param(&self, id: ParamId) -> &Param {
+        &self.params[id.0]
     }
 
     pub(crate) fn param_mut(&mut self, id: ParamId) -> &mut Param {

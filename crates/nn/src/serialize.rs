@@ -11,10 +11,21 @@
 //! <v0> <v1> …
 //! …
 //! ```
+//!
+//! All checkpoint files are written **atomically**: the bytes go to
+//! `<path>.tmp`, are fsynced, and the temp file is renamed over the target
+//! ([`atomic_write`]). A crash mid-write leaves at worst a stale `.tmp`
+//! alongside the previous intact checkpoint — never a torn file at the
+//! final path.
+//!
+//! [`TrainState`] extends the parameter format with everything needed to
+//! resume an interrupted run bit-identically: epoch counter, (possibly
+//! backed-off) learning rate, Adam step count and moment buffers, raw RNG
+//! state, and the best-so-far tracking (`mixq-train-state v1`).
 
 use std::fmt::Write as _;
 use std::io::{Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use mixq_tensor::{Matrix, MixqError, MixqResult};
 
@@ -93,11 +104,42 @@ pub fn params_from_string(s: &str) -> MixqResult<ParamSet> {
     Ok(ps)
 }
 
-/// Writes a checkpoint file.
-pub fn save_params(ps: &ParamSet, path: impl AsRef<Path>) -> MixqResult<()> {
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(params_to_string(ps).as_bytes())?;
+/// `<path>.tmp` — the staging file used by [`atomic_write`].
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Crash-safe file write: the bytes land in `<path>.tmp`, are fsynced, and
+/// the temp file is atomically renamed over `path`. Readers therefore see
+/// either the complete old file or the complete new one, never a torn mix.
+///
+/// A `ckpt_torn` injection (see `mixq-faultinject`) emulates a crash
+/// mid-write: half the bytes are left in the temp file, the rename is
+/// skipped, and an `Io` error is returned — the previous checkpoint at
+/// `path` stays intact.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> MixqResult<()> {
+    let path = path.as_ref();
+    let tmp = tmp_path(path);
+    if mixq_faultinject::should_fire(mixq_faultinject::FaultKind::CkptTorn, None) {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes[..bytes.len() / 2])?;
+        return Err(
+            std::io::Error::other("mixq-faultinject: injected torn checkpoint write").into(),
+        );
+    }
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
     Ok(())
+}
+
+/// Writes a checkpoint file (atomically; see [`atomic_write`]).
+pub fn save_params(ps: &ParamSet, path: impl AsRef<Path>) -> MixqResult<()> {
+    atomic_write(path, params_to_string(ps).as_bytes())
 }
 
 /// Reads a checkpoint file.
@@ -105,6 +147,201 @@ pub fn load_params(path: impl AsRef<Path>) -> MixqResult<ParamSet> {
     let mut s = String::new();
     std::fs::File::open(path)?.read_to_string(&mut s)?;
     params_from_string(&s)
+}
+
+/// Everything needed to resume an interrupted training run bit-identically
+/// from the epoch after the checkpoint was taken.
+#[derive(Debug, Clone)]
+pub struct TrainState {
+    /// The next epoch to run (epochs before it are complete).
+    pub epoch: usize,
+    /// Current learning rate (reflects divergence-recovery back-off).
+    pub lr: f32,
+    /// Adam step count, so bias correction resumes mid-stream.
+    pub adam_t: u64,
+    /// Raw RNG state (`Rng::state`), so dropout/eval draws continue the
+    /// same stream as an uninterrupted run.
+    pub rng_state: [u64; 4],
+    /// Best validation metric so far (`f64::NEG_INFINITY` if none yet).
+    pub best_val: f64,
+    /// Epoch of `best_val`.
+    pub best_epoch: usize,
+    /// Divergences recovered so far.
+    pub recovered: usize,
+    /// Live parameters *including* Adam moment buffers.
+    pub params: ParamSet,
+    /// Snapshot of the best-so-far parameter values (may be empty when the
+    /// caller does not track a best set, e.g. the relaxed bit-width search).
+    pub best_params: ParamSet,
+}
+
+fn push_values(out: &mut String, data: &[f32]) {
+    let mut first = true;
+    for &v in data {
+        if !first {
+            out.push(' ');
+        }
+        let _ = write!(out, "{v:?}");
+        first = false;
+    }
+    out.push('\n');
+}
+
+/// Serializes a [`TrainState`] (`mixq-train-state v1`, line-oriented; every
+/// float is printed via `{:?}` so it round-trips exactly).
+pub fn train_state_to_string(st: &TrainState) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "mixq-train-state v1");
+    let _ = writeln!(out, "epoch {}", st.epoch);
+    let _ = writeln!(out, "lr {:?}", st.lr);
+    let _ = writeln!(out, "adam_t {}", st.adam_t);
+    let [a, b, c, d] = st.rng_state;
+    let _ = writeln!(out, "rng {a} {b} {c} {d}");
+    let _ = writeln!(out, "best_val {:?}", st.best_val);
+    let _ = writeln!(out, "best_epoch {}", st.best_epoch);
+    let _ = writeln!(out, "recovered {}", st.recovered);
+    let _ = writeln!(out, "params {}", st.params.len());
+    for id in st.params.all_ids() {
+        let p = st.params.param(id);
+        let _ = writeln!(out, "{} {}", p.value.rows(), p.value.cols());
+        push_values(&mut out, p.value.data());
+        push_values(&mut out, p.m.data());
+        push_values(&mut out, p.v.data());
+    }
+    let _ = writeln!(out, "best_params {}", st.best_params.len());
+    for id in st.best_params.all_ids() {
+        let m = st.best_params.value(id);
+        let _ = writeln!(out, "{} {}", m.rows(), m.cols());
+        push_values(&mut out, m.data());
+    }
+    out
+}
+
+/// Parses a checkpoint produced by [`train_state_to_string`].
+pub fn train_state_from_string(s: &str) -> MixqResult<TrainState> {
+    const KIND: &str = "mixq-train-state checkpoint";
+    let err = |detail: String| MixqError::parse(KIND, detail);
+    let mut lines = s.lines();
+    let header = lines.next().ok_or_else(|| err("empty checkpoint".into()))?;
+    if header != "mixq-train-state v1" {
+        return Err(err(format!("unsupported checkpoint header: {header}")));
+    }
+    let field = |lines: &mut std::str::Lines, key: &str| -> MixqResult<String> {
+        let line = lines
+            .next()
+            .ok_or_else(|| err(format!("missing field '{key}'")))?;
+        line.strip_prefix(key)
+            .and_then(|rest| rest.strip_prefix(' '))
+            .map(|rest| rest.to_string())
+            .ok_or_else(|| err(format!("expected field '{key}', found '{line}'")))
+    };
+    let values_line =
+        |lines: &mut std::str::Lines, numel: usize, what: &str| -> MixqResult<Vec<f32>> {
+            let line = lines.next().ok_or_else(|| err(format!("missing {what}")))?;
+            let data: Vec<f32> = line
+                .split_whitespace()
+                .map(|v| {
+                    v.parse::<f32>()
+                        .map_err(|e| err(format!("bad value in {what}: {e}")))
+                })
+                .collect::<Result<_, _>>()?;
+            if data.len() != numel {
+                return Err(err(format!(
+                    "{what}: expected {numel} values, found {}",
+                    data.len()
+                )));
+            }
+            Ok(data)
+        };
+    let shape_line = |lines: &mut std::str::Lines, what: &str| -> MixqResult<(usize, usize)> {
+        let line = lines
+            .next()
+            .ok_or_else(|| err(format!("missing shape of {what}")))?;
+        let mut it = line.split_whitespace();
+        let rows = it
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| err(format!("bad rows of {what}")))?;
+        let cols = it
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| err(format!("bad cols of {what}")))?;
+        Ok((rows, cols))
+    };
+
+    let epoch: usize = field(&mut lines, "epoch")?
+        .parse()
+        .map_err(|e| err(format!("bad epoch: {e}")))?;
+    let lr: f32 = field(&mut lines, "lr")?
+        .parse()
+        .map_err(|e| err(format!("bad lr: {e}")))?;
+    let adam_t: u64 = field(&mut lines, "adam_t")?
+        .parse()
+        .map_err(|e| err(format!("bad adam_t: {e}")))?;
+    let rng_line = field(&mut lines, "rng")?;
+    let rng: Vec<u64> = rng_line
+        .split_whitespace()
+        .map(|v| v.parse().map_err(|e| err(format!("bad rng word: {e}"))))
+        .collect::<Result<_, _>>()?;
+    let rng_state: [u64; 4] = rng
+        .try_into()
+        .map_err(|_| err("rng state must have 4 words".into()))?;
+    let best_val: f64 = field(&mut lines, "best_val")?
+        .parse()
+        .map_err(|e| err(format!("bad best_val: {e}")))?;
+    let best_epoch: usize = field(&mut lines, "best_epoch")?
+        .parse()
+        .map_err(|e| err(format!("bad best_epoch: {e}")))?;
+    let recovered: usize = field(&mut lines, "recovered")?
+        .parse()
+        .map_err(|e| err(format!("bad recovered: {e}")))?;
+
+    let n_params: usize = field(&mut lines, "params")?
+        .parse()
+        .map_err(|e| err(format!("bad params count: {e}")))?;
+    let mut params = ParamSet::new();
+    for i in 0..n_params {
+        let (rows, cols) = shape_line(&mut lines, &format!("param {i}"))?;
+        let value = values_line(&mut lines, rows * cols, &format!("param {i} value"))?;
+        let m = values_line(&mut lines, rows * cols, &format!("param {i} m"))?;
+        let v = values_line(&mut lines, rows * cols, &format!("param {i} v"))?;
+        let id = params.add(Matrix::from_vec(rows, cols, value));
+        let p = params.param_mut(id);
+        p.m = Matrix::from_vec(rows, cols, m);
+        p.v = Matrix::from_vec(rows, cols, v);
+    }
+    let n_best: usize = field(&mut lines, "best_params")?
+        .parse()
+        .map_err(|e| err(format!("bad best_params count: {e}")))?;
+    let mut best_params = ParamSet::new();
+    for i in 0..n_best {
+        let (rows, cols) = shape_line(&mut lines, &format!("best param {i}"))?;
+        let value = values_line(&mut lines, rows * cols, &format!("best param {i}"))?;
+        best_params.add(Matrix::from_vec(rows, cols, value));
+    }
+    Ok(TrainState {
+        epoch,
+        lr,
+        adam_t,
+        rng_state,
+        best_val,
+        best_epoch,
+        recovered,
+        params,
+        best_params,
+    })
+}
+
+/// Writes a training-state checkpoint (atomically; see [`atomic_write`]).
+pub fn save_train_state(st: &TrainState, path: impl AsRef<Path>) -> MixqResult<()> {
+    atomic_write(path, train_state_to_string(st).as_bytes())
+}
+
+/// Reads a training-state checkpoint file.
+pub fn load_train_state(path: impl AsRef<Path>) -> MixqResult<TrainState> {
+    let mut s = String::new();
+    std::fs::File::open(path)?.read_to_string(&mut s)?;
+    train_state_from_string(&s)
 }
 
 #[cfg(test)]
@@ -151,5 +388,107 @@ mod tests {
         assert!(params_from_string("wrong header\n1\n").is_err());
         assert!(params_from_string("mixq-params v1\n1\n2 2\n1.0 2.0 3.0\n").is_err());
         assert!(params_from_string("mixq-params v1\n1\n2 2\n1.0 2.0 3.0 oops\n").is_err());
+    }
+
+    #[test]
+    fn atomic_save_overwrites_and_leaves_no_temp() {
+        let mut ps = ParamSet::new();
+        ps.add(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let path = std::env::temp_dir().join("mixq_atomic_ckpt_test.txt");
+        save_params(&ps, &path).unwrap();
+        // Overwrite with different contents; the temp staging file must be
+        // gone and the final file must hold the new checkpoint.
+        let mut ps2 = ParamSet::new();
+        ps2.add(Matrix::from_vec(1, 2, vec![-7.5, 0.25]));
+        save_params(&ps2, &path).unwrap();
+        assert!(!tmp_path(&path).exists(), "staging file must be renamed");
+        let back = load_params(&path).unwrap();
+        assert_eq!(back.value(back.all_ids()[0]).data(), &[-7.5, 0.25]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_write_is_rejected_as_parse_error() {
+        // Emulate a crash mid-write under the *old* non-atomic scheme: the
+        // file holds only a prefix of the checkpoint. load_params must fail
+        // with a typed Parse error, not panic or return garbage.
+        let mut ps = ParamSet::new();
+        let mut rng = Rng::seed_from_u64(5);
+        ps.add_glorot(4, 4, &mut rng);
+        ps.add_glorot(4, 2, &mut rng);
+        let text = params_to_string(&ps);
+        let path = std::env::temp_dir().join("mixq_torn_ckpt_test.txt");
+        std::fs::write(&path, &text.as_bytes()[..text.len() / 2]).unwrap();
+        match load_params(&path) {
+            Err(MixqError::Parse { .. }) => {}
+            other => panic!("torn checkpoint must give Parse error, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn train_state_round_trips_exactly() {
+        let mut rng = Rng::seed_from_u64(33);
+        let mut params = ParamSet::new();
+        let id = params.add_glorot(3, 2, &mut rng);
+        {
+            let p = params.param_mut(id);
+            p.m = Matrix::from_vec(3, 2, vec![0.1, -0.2, 1e-9, 4.0, -0.0, 7.25]);
+            p.v = Matrix::from_vec(3, 2, vec![0.5; 6]);
+        }
+        let mut best_params = ParamSet::new();
+        best_params.add(Matrix::from_vec(1, 2, vec![0.1 + 0.2, f32::MIN_POSITIVE]));
+        for _ in 0..9 {
+            rng.next_u64();
+        }
+        let st = TrainState {
+            epoch: 17,
+            lr: 0.0025,
+            adam_t: 17,
+            rng_state: rng.state(),
+            best_val: 0.8137,
+            best_epoch: 12,
+            recovered: 2,
+            params,
+            best_params,
+        };
+        let text = train_state_to_string(&st);
+        let back = train_state_from_string(&text).unwrap();
+        assert_eq!(back.epoch, 17);
+        assert_eq!(back.lr.to_bits(), st.lr.to_bits());
+        assert_eq!(back.adam_t, 17);
+        assert_eq!(back.rng_state, st.rng_state);
+        assert_eq!(back.best_val.to_bits(), st.best_val.to_bits());
+        assert_eq!(back.best_epoch, 12);
+        assert_eq!(back.recovered, 2);
+        for (a, b) in st.params.all_ids().into_iter().zip(back.params.all_ids()) {
+            let (pa, pb) = (st.params.param(a), back.params.param(b));
+            for (x, y) in pa.value.data().iter().zip(pb.value.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            for (x, y) in pa.m.data().iter().zip(pb.m.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            for (x, y) in pa.v.data().iter().zip(pb.v.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        assert_eq!(back.best_params.len(), 1);
+
+        // A fresh state with no best yet uses -inf, which must round-trip.
+        let st2 = TrainState {
+            best_val: f64::NEG_INFINITY,
+            best_params: ParamSet::new(),
+            ..st
+        };
+        let back2 = train_state_from_string(&train_state_to_string(&st2)).unwrap();
+        assert_eq!(back2.best_val, f64::NEG_INFINITY);
+        assert!(back2.best_params.is_empty());
+
+        // Corrupt variants are rejected with typed errors.
+        assert!(train_state_from_string("").is_err());
+        assert!(train_state_from_string("mixq-train-state v2\n").is_err());
+        let truncated = &text[..text.len() / 2];
+        assert!(train_state_from_string(truncated).is_err());
     }
 }

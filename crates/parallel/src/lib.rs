@@ -21,6 +21,15 @@
 //! thread costs tens of microseconds, so parallelism only pays off once a
 //! kernel does comparable work per range.
 //!
+//! Worker panics are **contained**: each chunk runs under `catch_unwind`,
+//! and any chunk whose worker panicked is zeroed and re-run serially on the
+//! caller's thread after the scope joins (counted in the
+//! `parallel.worker_panics` telemetry counter). Kernels route through this
+//! runtime with freshly zero-initialized output buffers and either overwrite
+//! or accumulate into them, so zero-and-retry reproduces the unfaulted
+//! result bit-identically. A panic that recurs on the serial retry is a
+//! genuine kernel bug and propagates.
+//!
 //! This lives in its own crate (rather than `mixq-tensor`) because
 //! `mixq-sparse` sits *below* `mixq-tensor` in the dependency graph and its
 //! SpMM kernels need the same runtime; `mixq-tensor` re-exports this crate
@@ -99,6 +108,18 @@ fn range_bounds(rows: usize, pieces: usize) -> Vec<usize> {
     (0..=pieces).map(|i| rows * i / pieces).collect()
 }
 
+/// `true` iff a caught panic payload came from [`mixq_faultinject`] (its
+/// injected panics embed [`mixq_faultinject::PANIC_MARKER`] in the message).
+fn payload_is_injected(payload: &(dyn std::any::Any + Send)) -> bool {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        return s.contains(mixq_faultinject::PANIC_MARKER);
+    }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return s.contains(mixq_faultinject::PANIC_MARKER);
+    }
+    false
+}
+
 /// Runs `f(row_start, chunk)` over disjoint row ranges of a row-major
 /// `rows × width` output buffer, in parallel when the input is large enough.
 ///
@@ -107,7 +128,11 @@ fn range_bounds(rows: usize, pieces: usize) -> Vec<usize> {
 /// covering exactly that range, so writes are race-free by construction and
 /// `f` observes the same per-row state as the serial loop — the parallel
 /// result is bit-identical to `f(0, out)`.
-pub fn par_row_chunks_mut<T: Send>(
+///
+/// If a worker panics, its chunk is reset to `T::default()` and re-run
+/// serially after the scope joins (see the module docs); hence the
+/// `Copy + Default` bound, which every numeric output type satisfies.
+pub fn par_row_chunks_mut<T: Send + Copy + Default>(
     out: &mut [T],
     rows: usize,
     width: usize,
@@ -131,11 +156,15 @@ pub fn par_row_chunks_mut<T: Send>(
         mixq_telemetry::counter_add("parallel.par_calls", 1);
         mixq_telemetry::counter_add("parallel.threads_used", t as u64);
     }
+    let faults = mixq_faultinject::enabled();
     // Per-thread utilization: sum of per-chunk busy time over wall × threads.
     // Only measured when telemetry is on; otherwise the closure wrapper is a
     // single never-taken branch per chunk.
     let busy_ns = std::sync::atomic::AtomicU64::new(0);
     let run = |start: usize, chunk: &mut [T]| {
+        if faults && mixq_faultinject::should_fire(mixq_faultinject::FaultKind::WorkerPanic, None) {
+            mixq_faultinject::injected_panic("par_row_chunks_mut");
+        }
         if telemetry {
             let t0 = std::time::Instant::now();
             f(start, chunk);
@@ -144,21 +173,47 @@ pub fn par_row_chunks_mut<T: Send>(
             f(start, chunk);
         }
     };
+    // Chunks whose worker panicked: (start row, row count, injected?).
+    // They are zeroed and re-run serially after the scope joins.
+    let panicked: std::sync::Mutex<Vec<(usize, usize, bool)>> = std::sync::Mutex::new(Vec::new());
+    let guarded = |start: usize, nrows: usize, chunk: &mut [T]| {
+        // The closure only writes through the exclusive chunk borrow, and a
+        // panicked chunk is wholly reset before retry, so no broken
+        // invariant can escape the unwind boundary.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(start, chunk)));
+        if let Err(payload) = r {
+            let injected = payload_is_injected(payload.as_ref());
+            panicked.lock().unwrap().push((start, nrows, injected));
+        }
+    };
     let wall = std::time::Instant::now();
     let bounds = range_bounds(rows, t);
     std::thread::scope(|s| {
-        let mut rest = out;
+        let mut rest = &mut *out;
         // Spawn the first t−1 ranges and run the last one on this thread;
         // the scope joins everything before returning.
         for w in bounds.windows(2).take(t - 1) {
             let (chunk, tail) = rest.split_at_mut((w[1] - w[0]) * width);
             rest = tail;
-            let start = w[0];
-            let run = &run;
-            s.spawn(move || run(start, chunk));
+            let (start, nrows) = (w[0], w[1] - w[0]);
+            let guarded = &guarded;
+            s.spawn(move || guarded(start, nrows, chunk));
         }
-        run(bounds[t - 1], rest);
+        guarded(bounds[t - 1], rows - bounds[t - 1], rest);
     });
+    let panicked = panicked.into_inner().unwrap();
+    if !panicked.is_empty() {
+        mixq_telemetry::counter_add("parallel.worker_panics", panicked.len() as u64);
+        for (start, nrows, injected) in panicked {
+            let chunk = &mut out[start * width..(start + nrows) * width];
+            chunk.fill(T::default());
+            // A second panic here is a genuine kernel bug: let it propagate.
+            run(start, chunk);
+            if injected {
+                mixq_faultinject::mark_recovered();
+            }
+        }
+    }
     if telemetry {
         let wall_ns = wall.elapsed().as_nanos() as u64;
         let busy = busy_ns.into_inner();
@@ -174,7 +229,11 @@ pub fn par_row_chunks_mut<T: Send>(
 /// Element-wise `dst[i] = f(src[i])`, parallelized over contiguous chunks
 /// when there are at least [`ELEMENTWISE_THRESHOLD`] elements. Bit-identical
 /// to the serial map (each element is computed independently).
-pub fn par_map_slice<T: Copy + Sync, U: Send>(src: &[T], dst: &mut [U], f: impl Fn(T) -> U + Sync) {
+pub fn par_map_slice<T: Copy + Sync, U: Send + Copy + Default>(
+    src: &[T],
+    dst: &mut [U],
+    f: impl Fn(T) -> U + Sync,
+) {
     assert_eq!(src.len(), dst.len(), "par_map_slice: length mismatch");
     let apply = |start: usize, chunk: &mut [U]| {
         for (o, &v) in chunk.iter_mut().zip(&src[start..]) {
@@ -191,7 +250,7 @@ pub fn par_map_slice<T: Copy + Sync, U: Send>(src: &[T], dst: &mut [U], f: impl 
 
 /// Element-wise `dst[i] = f(a[i], b[i])` over two sources, parallelized like
 /// [`par_map_slice`].
-pub fn par_zip_slice<A: Copy + Sync, B: Copy + Sync, U: Send>(
+pub fn par_zip_slice<A: Copy + Sync, B: Copy + Sync, U: Send + Copy + Default>(
     a: &[A],
     b: &[B],
     dst: &mut [U],
@@ -275,6 +334,42 @@ mod tests {
             .iter()
             .zip(src.iter().zip(&dst))
             .all(|(&o, (&a, &b))| o == a + b));
+
+        // Worker-panic containment (the faultinject gate is process-global,
+        // so this lives in the same test). The hook swap silences the
+        // expected panic backtraces from worker threads.
+        set_num_threads(4);
+        set_parallel_row_threshold(0);
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        mixq_faultinject::set_spec("worker_panic@2").unwrap();
+        let (rows, width) = (64, 3);
+        let mut out = vec![0i64; rows * width];
+        par_row_chunks_mut(&mut out, rows, width, |start, chunk| {
+            for (i, row) in chunk.chunks_mut(width).enumerate() {
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v += ((start + i) * width + j) as i64;
+                }
+            }
+        });
+        let want: Vec<i64> = (0..(rows * width) as i64).collect();
+        assert_eq!(out, want, "panicked chunk must be retried bit-identically");
+        assert_eq!(mixq_faultinject::injected_count(), 1);
+        assert_eq!(mixq_faultinject::recovered_count(), 1);
+        mixq_faultinject::clear();
+
+        // A deterministic (non-injected) panic recurs on the serial retry
+        // and must propagate — containment only absorbs transient faults.
+        let mut out = vec![0u32; 64];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_row_chunks_mut(&mut out, 64, 1, |start, _chunk| {
+                if start == 0 {
+                    panic!("genuine kernel bug");
+                }
+            });
+        }));
+        assert!(result.is_err(), "deterministic panic must propagate");
+        std::panic::set_hook(hook);
 
         // Empty and degenerate shapes stay well-defined.
         let mut empty: Vec<f32> = Vec::new();

@@ -73,6 +73,16 @@ impl QuantCsr {
             .zip(self.values[s..e].iter().copied())
     }
 
+    /// Largest number of non-zeros in any row — the worst-case term count
+    /// of one accumulator in [`spmm_int`], used by the inference engine's
+    /// a-priori saturation analysis.
+    pub fn max_row_nnz(&self) -> usize {
+        (0..self.rows)
+            .map(|r| self.row_ptr[r + 1] - self.row_ptr[r])
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Integer row sums `Σ_c Q_a(A)_{r,c}`, needed by Theorem 1's zero-point
     /// correction term.
     pub fn row_sums_i64(&self) -> Vec<i64> {
@@ -168,6 +178,7 @@ mod tests {
     fn row_sums_match() {
         let q = QuantCsr::from_csr(&sample(), 4, |_, _, v| v as i32);
         assert_eq!(q.row_sums_i64(), vec![-1, 3]);
+        assert_eq!(q.max_row_nnz(), 2);
     }
 
     #[test]

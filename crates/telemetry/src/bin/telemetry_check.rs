@@ -7,7 +7,9 @@
 //! ```
 //!
 //! `--expect <section>.<name>` additionally requires a named metric to be
-//! present (section is one of counters/gauges/histograms/series/spans).
+//! present (section is one of counters/gauges/histograms/series/spans);
+//! `--expect-eq <section>.<name>=<value>` also checks its numeric value
+//! (used by the fault-injection CI step to pin exact counter totals).
 
 use mixq_telemetry::json;
 
@@ -15,6 +17,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut expectations = Vec::new();
+    let mut equalities = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--expect" {
@@ -22,12 +25,26 @@ fn main() {
                 Some(e) => expectations.push(e.clone()),
                 None => fail("--expect needs an argument"),
             }
+        } else if a == "--expect-eq" {
+            let Some(e) = it.next() else {
+                fail("--expect-eq needs an argument");
+            };
+            let Some((metric, value)) = e.split_once('=') else {
+                fail(&format!("bad --expect-eq '{e}': want section.name=value"));
+            };
+            let Ok(value) = value.parse::<f64>() else {
+                fail(&format!("bad --expect-eq '{e}': value is not a number"));
+            };
+            equalities.push((metric.to_string(), value));
         } else {
             paths.push(a.clone());
         }
     }
     if paths.is_empty() {
-        fail("usage: telemetry_check <report.json>… [--expect section.name]…");
+        fail(
+            "usage: telemetry_check <report.json>… [--expect section.name]… \
+             [--expect-eq section.name=value]…",
+        );
     }
 
     for path in &paths {
@@ -53,6 +70,22 @@ fn main() {
             let found = doc.get(section).and_then(|s| s.get(name)).is_some();
             if !found {
                 fail(&format!("{path}: expected {section} metric '{name}'"));
+            }
+        }
+        for (metric, want) in &equalities {
+            let Some((section, name)) = metric.split_once('.') else {
+                fail(&format!("bad --expect-eq '{metric}': want section.name"));
+            };
+            let got = doc
+                .get(section)
+                .and_then(|s| s.get(name))
+                .and_then(json::Json::as_f64);
+            match got {
+                Some(v) if v == *want => {}
+                Some(v) => fail(&format!("{path}: {metric} = {v}, expected {want}")),
+                None => fail(&format!(
+                    "{path}: expected numeric {section} metric '{name}'"
+                )),
             }
         }
         let count = |s: &str| {

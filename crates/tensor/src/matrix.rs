@@ -312,6 +312,12 @@ impl Matrix {
             .sum()
     }
 
+    /// `true` iff any element is NaN or infinite. Divergence detection runs
+    /// this on every gradient buffer each epoch, so it short-circuits.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+
     /// Max absolute element-wise difference, for approximate comparisons.
     pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
         assert_eq!(self.shape(), other.shape(), "max_abs_diff: shape mismatch");
@@ -326,6 +332,16 @@ impl Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn has_non_finite_detects_nan_and_inf() {
+        let mut m = Matrix::from_vec(2, 2, vec![1.0, -2.0, 0.0, 3.5]);
+        assert!(!m.has_non_finite());
+        m.data_mut()[3] = f32::NAN;
+        assert!(m.has_non_finite());
+        m.data_mut()[3] = f32::NEG_INFINITY;
+        assert!(m.has_non_finite());
+    }
 
     #[test]
     fn matmul_small_known_result() {

@@ -33,6 +33,17 @@ impl Rng {
         Rng::seed_from_u64(self.next_u64() ^ stream.wrapping_mul(0x9E3779B97F4A7C15))
     }
 
+    /// Raw generator state, for checkpointing a run mid-stream.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from [`Rng::state`] output, continuing the
+    /// stream exactly where it left off.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Self { s }
+    }
+
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
@@ -174,6 +185,18 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), 10, "sampled indices must be distinct");
+    }
+
+    #[test]
+    fn state_round_trip_continues_stream() {
+        let mut a = Rng::seed_from_u64(21);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = Rng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]

@@ -68,6 +68,7 @@ fn main() {
         weight_decay: 5e-4,
         seed: 0,
         patience: 40,
+        ..TrainConfig::default()
     };
     let report = train_node(&mut net, &mut ps, &ds, &bundle, &cfg);
     println!("INT8 test accuracy: {:.1}%", report.test_metric * 100.0);

@@ -29,13 +29,14 @@ fn main() {
         weight_decay: 1e-4,
         seed: 0,
         patience: 0,
+        ..TrainConfig::default()
     };
 
     // FP32 baseline.
     let mut ps = ParamSet::new();
     let mut rng = Rng::seed_from_u64(0);
     let mut fp32 = GinGraphNet::new(&mut ps, ds.feat_dim(), 32, ds.num_classes, 5, &mut rng);
-    let (_, fp32_acc) = train_graph(&mut fp32, &mut ps, &train, &test, &cfg);
+    let fp32_acc = train_graph(&mut fp32, &mut ps, &train, &test, &cfg).test_acc;
     println!("FP32 GIN test accuracy: {:.1}%", fp32_acc * 100.0);
 
     // MixQ search over {4,8} bits, then QAT retraining.
@@ -45,6 +46,7 @@ fn main() {
         lambda: 0.1,
         seed: 0,
         warmup: 25,
+        ..SearchConfig::default()
     };
     let assignment =
         search_gin_graph_bits(&train, ds.feat_dim(), 32, ds.num_classes, 5, &[4, 8], &scfg);
@@ -63,7 +65,7 @@ fn main() {
         &mut rng,
     )
     .expect("assignment matches schema");
-    let (_, q_acc) = train_graph(&mut qnet, &mut ps, &train, &test, &cfg);
+    let q_acc = train_graph(&mut qnet, &mut ps, &train, &test, &cfg).test_acc;
     let n: u64 = train.degrees.len() as u64;
     let cost = qnet.cost_model(n, train.raw.a.nnz() as u64, train.num_graphs() as u64);
     println!(

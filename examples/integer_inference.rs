@@ -49,6 +49,7 @@ fn main() {
         weight_decay: 5e-4,
         seed: 0,
         patience: 40,
+        ..TrainConfig::default()
     };
     let rep = train_node(&mut net, &mut ps, &ds, &bundle, &cfg);
     println!(

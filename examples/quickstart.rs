@@ -29,6 +29,7 @@ fn main() {
         weight_decay: 5e-4,
         seed: 0,
         patience: 40,
+        ..TrainConfig::default()
     };
 
     // 2. FP32 baseline.
@@ -57,6 +58,7 @@ fn main() {
         lambda: 0.1,
         seed: 0,
         warmup: 30,
+        ..SearchConfig::default()
     };
     let assignment = search_gcn_bits(&ds, &bundle, &dims, &[2, 4, 8], 0.5, &search_cfg);
     println!("MixQ-selected bit-widths:");

@@ -10,6 +10,9 @@
 //!
 //! * [`telemetry`] — zero-dependency metrics / span-tracing layer
 //!   (`MIXQ_TELEMETRY=1` to enable; reports under `results/telemetry/`);
+//! * [`faultinject`] — deterministic, env-gated fault injection
+//!   (`MIXQ_FAULTS=grad_nan@epoch=3,...`) used to drill the recovery paths
+//!   in training, checkpointing, the parallel runtime and integer inference;
 //! * [`parallel`] — the scoped-thread runtime behind every compute kernel
 //!   (`MIXQ_THREADS` / [`parallel::set_num_threads`]; results stay
 //!   bit-identical to serial at any thread count);
@@ -23,6 +26,7 @@
 //! Start with `examples/quickstart.rs`.
 
 pub use mixq_core as core;
+pub use mixq_faultinject as faultinject;
 pub use mixq_graph as graph;
 pub use mixq_nn as nn;
 pub use mixq_parallel as parallel;

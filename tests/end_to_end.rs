@@ -34,6 +34,7 @@ fn train_cfg(seed: u64) -> TrainConfig {
         weight_decay: 5e-4,
         seed,
         patience: 30,
+        ..TrainConfig::default()
     }
 }
 
@@ -109,6 +110,7 @@ fn mixq_search_produces_trainable_assignment() {
         lambda: 0.1,
         seed: 0,
         warmup: 12,
+        ..SearchConfig::default()
     };
     let a = search_gcn_bits(&ds, &bundle, &dims, &[2, 4, 8], 0.5, &scfg);
     assert_eq!(a.len(), 9);

@@ -31,8 +31,10 @@ fn fp32_gin_learns_graph_classification() {
         weight_decay: 1e-4,
         seed: 0,
         patience: 0,
+        ..TrainConfig::default()
     };
-    let (train_acc, test_acc) = train_graph(&mut net, &mut ps, &train, &test, &cfg);
+    let rep = train_graph(&mut net, &mut ps, &train, &test, &cfg);
+    let (train_acc, test_acc) = (rep.train_acc, rep.test_acc);
     assert!(
         train_acc > 0.8,
         "GIN should fit the train split, got {train_acc}"
@@ -50,12 +52,13 @@ fn quantized_gin_int8_close_to_fp32() {
         weight_decay: 1e-4,
         seed: 0,
         patience: 0,
+        ..TrainConfig::default()
     };
 
     let mut ps = ParamSet::new();
     let mut rng = Rng::seed_from_u64(0);
     let mut fp32 = GinGraphNet::new(&mut ps, ds.feat_dim(), 16, ds.num_classes, 3, &mut rng);
-    let (_, fp_acc) = train_graph(&mut fp32, &mut ps, &train, &test, &cfg);
+    let fp_acc = train_graph(&mut fp32, &mut ps, &train, &test, &cfg).test_acc;
 
     let a = BitAssignment::uniform(gin_graph_schema(3), 8);
     let mut ps = ParamSet::new();
@@ -72,7 +75,7 @@ fn quantized_gin_int8_close_to_fp32() {
         &mut rng,
     )
     .expect("assignment matches schema");
-    let (_, q_acc) = train_graph(&mut qnet, &mut ps, &train, &test, &cfg);
+    let q_acc = train_graph(&mut qnet, &mut ps, &train, &test, &cfg).test_acc;
     assert!(
         q_acc > fp_acc - 0.12,
         "INT8 GIN ({q_acc}) should be near FP32 ({fp_acc})"
@@ -89,6 +92,7 @@ fn gin_graph_search_returns_valid_assignment() {
         lambda: 0.1,
         seed: 0,
         warmup: 8,
+        ..SearchConfig::default()
     };
     let a = search_gin_graph_bits(&train, ds.feat_dim(), 16, ds.num_classes, 3, &[4, 8], &scfg);
     assert_eq!(a.names, gin_graph_schema(3));
@@ -127,8 +131,9 @@ fn quantized_gin_handles_different_eval_batch_sizes() {
         weight_decay: 1e-4,
         seed: 0,
         patience: 0,
+        ..TrainConfig::default()
     };
-    let (_, test_acc) = train_graph(&mut qnet, &mut ps, &train, &test, &cfg);
+    let test_acc = train_graph(&mut qnet, &mut ps, &train, &test, &cfg).test_acc;
     assert!(
         test_acc > 0.4,
         "A2Q GIN should at least beat chance, got {test_acc}"
@@ -168,8 +173,9 @@ fn gcn_graph_net_requantizes_adjacency_per_batch() {
         weight_decay: 1e-4,
         seed: 0,
         patience: 0,
+        ..TrainConfig::default()
     };
-    let (_, test_acc) = train_graph(&mut net, &mut ps, &train, &test, &cfg);
+    let test_acc = train_graph(&mut net, &mut ps, &train, &test, &cfg).test_acc;
     assert!(test_acc.is_finite());
 }
 
@@ -203,7 +209,8 @@ fn dq_gin_trains_despite_pooled_head_tensors() {
         weight_decay: 1e-4,
         seed: 0,
         patience: 0,
+        ..TrainConfig::default()
     };
-    let (_, test_acc) = train_graph(&mut net, &mut ps, &train, &test, &cfg);
+    let test_acc = train_graph(&mut net, &mut ps, &train, &test, &cfg).test_acc;
     assert!(test_acc > 0.4, "DQ GIN should beat chance, got {test_acc}");
 }

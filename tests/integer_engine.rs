@@ -49,6 +49,7 @@ fn integer_inference_matches_fake_quantized_path() {
         weight_decay: 5e-4,
         seed: 0,
         patience: 30,
+        ..TrainConfig::default()
     };
     let rep = train_node(&mut net, &mut ps, &ds, &bundle, &cfg);
 
@@ -153,6 +154,7 @@ fn integer_sage_inference_agrees_with_training_path() {
         weight_decay: 5e-4,
         seed: 0,
         patience: 25,
+        ..TrainConfig::default()
     };
     let rep = train_node(&mut net, &mut ps, &ds, &bundle, &cfg);
     assert!(rep.test_metric > 0.5, "trained SAGE should be decent");

@@ -41,4 +41,17 @@ MIXQ_TELEMETRY=1 MIXQ_TELEMETRY_DIR="$drill_dir" \
   --expect-eq counters.qinfer.fallback.layers=1
 rm -rf "$drill_dir"
 
+echo "==> property-fuzz conformance drill (MIXQ_PT_CASES=32 pinned budget)"
+fuzz_dir="$(mktemp -d)"
+MIXQ_TELEMETRY=1 MIXQ_TELEMETRY_DIR="$fuzz_dir" MIXQ_PT_CASES=32 \
+  ./target/release/fuzz_drill
+./target/release/telemetry_check "$fuzz_dir/fuzz_drill.json" \
+  --expect-eq counters.proptest.cases=160 \
+  --expect-eq counters.proptest.drill.theorem1.cases=32 \
+  --expect-eq counters.proptest.drill.quant_edges.cases=32 \
+  --expect-eq counters.proptest.drill.autograd.cases=32 \
+  --expect-eq counters.proptest.drill.parallel.cases=32 \
+  --expect-eq counters.proptest.drill.qcsr.cases=32
+rm -rf "$fuzz_dir"
+
 echo "CI OK"

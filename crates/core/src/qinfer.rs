@@ -454,8 +454,16 @@ impl QuantizedModel for QuantizedGcn {
 /// Symmetrically quantizes a sparse matrix's values to integer codes,
 /// returning the codes and the common scale (`Z = 0`).
 pub fn quantize_csr_symmetric(a: &CsrMatrix, bits: u8) -> (QuantCsr, f32) {
-    let lo = a.values().iter().copied().fold(f32::INFINITY, f32::min);
-    let hi = a.values().iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    // An empty matrix (all-isolated graph) would fold to (+inf, −inf) and
+    // poison the scale; any positive amplitude quantizes zero entries fine.
+    let (lo, hi) = if a.nnz() == 0 {
+        (0.0, 0.0)
+    } else {
+        (
+            a.values().iter().copied().fold(f32::INFINITY, f32::min),
+            a.values().iter().copied().fold(f32::NEG_INFINITY, f32::max),
+        )
+    };
     let qp = QuantParams::symmetric(lo, hi, bits.min(16));
     (
         QuantCsr::from_csr(a, bits, |_, _, v| qp.quantize(v)),

@@ -1,0 +1,244 @@
+//! Differential conformance fuzzing of Theorem 1.
+//!
+//! The paper's central claim is that `Q_y(AX)` computed *entirely from
+//! integer codes* (`quantized_matmul_dense` / `quantized_spmm`) equals
+//! quantizing the floating-point product of the dequantized operands. These
+//! suites generate random codes, quantization vectors, and CSR graphs —
+//! including degree-skewed, isolated-node, and self-loop regimes — and
+//! assert bit-exact agreement against an f64 dequantize-then-multiply
+//! reference. Failures shrink to a minimal graph/code configuration and
+//! print a replayable `MIXQ_PT_SEED`.
+
+use mixq_core::{quantized_matmul_dense, quantized_spmm, QmpParams};
+use mixq_proptest::{f32_in, graph, i32_in, usize_in, Config, Gen, GraphConfig, RandomGraph};
+use mixq_sparse::QuantCsr;
+
+/// Reference: dequantize the codes to f64, multiply, requantize.
+fn reference(qa: &[i32], n: usize, m: usize, qx: &[i32], f: usize, p: &QmpParams) -> Vec<i32> {
+    let mut out = vec![0i32; n * f];
+    for i in 0..n {
+        for j in 0..f {
+            let mut acc = 0f64;
+            for k in 0..m {
+                let a = (qa[i * m + k] - p.za[i]) as f64 * p.sa[i] as f64;
+                let x = (qx[k * f + j] - p.zx[j]) as f64 * p.sx[j] as f64;
+                acc += a * x;
+            }
+            let q = (acc / p.sy[j] as f64).round_ties_even() as i64 + p.zy[j] as i64;
+            out[i * f + j] = q.clamp(p.y_qmin as i64, p.y_qmax as i64) as i32;
+        }
+    }
+    out
+}
+
+#[derive(Clone, Debug)]
+struct DenseCase {
+    n: usize,
+    m: usize,
+    f: usize,
+    qa: Vec<i32>,
+    qx: Vec<i32>,
+    sa: Vec<f32>,
+    za: Vec<i32>,
+    sx: Vec<f32>,
+    zx: Vec<i32>,
+    sy: Vec<f32>,
+    zy: Vec<i32>,
+}
+
+impl DenseCase {
+    fn params(&self) -> QmpParams {
+        QmpParams {
+            sa: self.sa.clone(),
+            za: self.za.clone(),
+            sx: self.sx.clone(),
+            zx: self.zx.clone(),
+            sy: self.sy.clone(),
+            zy: self.zy.clone(),
+            y_qmin: -128,
+            y_qmax: 127,
+        }
+    }
+}
+
+/// Dense Theorem-1 case: arbitrary zero points on both operands, code
+/// ranges spanning 4-bit adjacency × 8-bit activations.
+fn dense_case() -> Gen<DenseCase> {
+    let dims = usize_in(1, 6).zip(&usize_in(1, 6)).zip(&usize_in(1, 6));
+    dims.bind(|&((n, m), f)| {
+        let qa = i32_in(-8, 7).vec_of(n * m, n * m);
+        let qx = i32_in(-128, 127).vec_of(m * f, m * f);
+        let sa = f32_in(0.01, 0.5).vec_of(n, n);
+        let za = i32_in(-3, 3).vec_of(n, n);
+        let sx = f32_in(0.01, 0.5).vec_of(f, f);
+        let zx = i32_in(-10, 10).vec_of(f, f);
+        let sy = f32_in(0.05, 1.0).vec_of(f, f);
+        let zy = i32_in(-5, 5).vec_of(f, f);
+        qa.zip(&qx)
+            .zip(&sa.zip(&za))
+            .zip(&sx.zip(&zx))
+            .zip(&sy.zip(&zy))
+            .map(move |case| {
+                let (((qaqx, saza), sxzx), syzy) = case.clone();
+                DenseCase {
+                    n,
+                    m,
+                    f,
+                    qa: qaqx.0,
+                    qx: qaqx.1,
+                    sa: saza.0,
+                    za: saza.1,
+                    sx: sxzx.0,
+                    zx: sxzx.1,
+                    sy: syzy.0,
+                    zy: syzy.1,
+                }
+            })
+    })
+}
+
+#[test]
+fn fuzz_dense_theorem1_matches_f64_reference() {
+    Config::new("theorem1_dense")
+        .cases(96)
+        .run(&dense_case(), |c| {
+            let p = c.params();
+            let got = quantized_matmul_dense(&c.qa, c.n, c.m, &c.qx, c.f, &p);
+            let want = reference(&c.qa, c.n, c.m, &c.qx, c.f, &p);
+            assert_eq!(
+                got, want,
+                "integer Theorem-1 path diverged from f64 reference (n={}, m={}, f={})",
+                c.n, c.m, c.f
+            );
+        });
+}
+
+#[derive(Clone, Debug)]
+struct SparseCase {
+    g: RandomGraph,
+    f: usize,
+    qx: Vec<i32>,
+    sa: Vec<f32>,
+    sx: Vec<f32>,
+    zx: Vec<i32>,
+    sy: Vec<f32>,
+    zy: Vec<i32>,
+}
+
+impl SparseCase {
+    fn params(&self) -> QmpParams {
+        QmpParams {
+            sa: self.sa.clone(),
+            za: vec![0; self.g.nodes], // sparse path requires Z_a = 0
+            sx: self.sx.clone(),
+            zx: self.zx.clone(),
+            sy: self.sy.clone(),
+            zy: self.zy.clone(),
+            y_qmin: -128,
+            y_qmax: 127,
+        }
+    }
+
+    /// The adjacency codes: edge weights rounded to integers. Structural
+    /// zeros and rounded-to-zero edges agree between sparse and dense form
+    /// by construction.
+    fn dense_codes(&self) -> Vec<i32> {
+        let n = self.g.nodes;
+        let mut qa = vec![0i32; n * n];
+        for &(s, d, v) in &self.g.edges {
+            qa[s * n + d] = v.round_ties_even() as i32;
+        }
+        qa
+    }
+
+    fn qcsr(&self) -> QuantCsr {
+        QuantCsr::from_csr(&self.g.to_csr(), 4, |_, _, v| v.round_ties_even() as i32)
+    }
+}
+
+/// Sparse case over generated graphs: degree-skewed with isolated nodes and
+/// self-loops, edge weights in the 4-bit code range.
+fn sparse_case() -> Gen<SparseCase> {
+    let cfg = GraphConfig {
+        min_nodes: 1,
+        max_nodes: 20,
+        max_degree: 6,
+        degree_alpha: 2.5,
+        isolated_frac: 0.2,
+        self_loops: true,
+        val_lo: -7.0,
+        val_hi: 7.0,
+    };
+    graph(cfg).zip(&usize_in(1, 5)).bind(|&(ref g, f)| {
+        let n = g.nodes;
+        let g = g.clone();
+        let qx = i32_in(-128, 127).vec_of(n * f, n * f);
+        let sa = f32_in(0.01, 0.5).vec_of(n, n);
+        let sx = f32_in(0.01, 0.5).vec_of(f, f);
+        let zx = i32_in(-10, 10).vec_of(f, f);
+        let sy = f32_in(0.05, 1.0).vec_of(f, f);
+        let zy = i32_in(-5, 5).vec_of(f, f);
+        qx.zip(&sa)
+            .zip(&sx.zip(&zx))
+            .zip(&sy.zip(&zy))
+            .map(move |case| {
+                let ((qxsa, sxzx), syzy) = case.clone();
+                SparseCase {
+                    g: g.clone(),
+                    f,
+                    qx: qxsa.0,
+                    sa: qxsa.1,
+                    sx: sxzx.0,
+                    zx: sxzx.1,
+                    sy: syzy.0,
+                    zy: syzy.1,
+                }
+            })
+    })
+}
+
+/// The sparse fast path must agree bit-exactly with BOTH the dense general
+/// form and the f64 reference, on graphs spanning the isolated-node /
+/// hub-row / self-loop regimes.
+#[test]
+fn fuzz_sparse_theorem1_matches_dense_and_reference() {
+    Config::new("theorem1_sparse")
+        .cases(96)
+        .run(&sparse_case(), |c| {
+            let n = c.g.nodes;
+            let p = c.params();
+            let qa = c.dense_codes();
+            let sparse = quantized_spmm(&c.qcsr(), &c.qx, c.f, &p);
+            let dense = quantized_matmul_dense(&qa, n, n, &c.qx, c.f, &p);
+            assert_eq!(
+                sparse,
+                dense,
+                "sparse fast path diverged from dense form (nodes={n}, nnz={}, f={})",
+                c.g.nnz(),
+                c.f
+            );
+            let want = reference(&qa, n, n, &c.qx, c.f, &p);
+            assert_eq!(
+                dense, want,
+                "dense form diverged from f64 reference (nodes={n}, f={})",
+                c.f
+            );
+        });
+}
+
+/// Tight output ranges force clipping on nearly every element; both paths
+/// must clip identically.
+#[test]
+fn fuzz_theorem1_clipping_is_bit_exact() {
+    Config::new("theorem1_clip")
+        .cases(48)
+        .run(&dense_case(), |c| {
+            let mut p = c.params();
+            p.y_qmin = -2;
+            p.y_qmax = 1;
+            let got = quantized_matmul_dense(&c.qa, c.n, c.m, &c.qx, c.f, &p);
+            let want = reference(&c.qa, c.n, c.m, &c.qx, c.f, &p);
+            assert_eq!(got, want, "clipping behaviour diverged");
+            assert!(got.iter().all(|&v| (-2..=1).contains(&v)));
+        });
+}

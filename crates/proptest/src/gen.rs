@@ -1,0 +1,354 @@
+//! Composable generators over the workspace's seeded [`Rng`].
+//!
+//! A [`Gen<T>`] turns an [`Rng`] into a [`Shrinkable<T>`] — a value plus its
+//! integrated shrink tree. Combinators ([`Gen::map`], [`Gen::zip`],
+//! [`Gen::bind`], [`Gen::vec_of`]) compose both the generation *and* the
+//! shrinking, so test authors never write a shrinker by hand.
+//!
+//! Primitive generators shrink toward a canonical origin: integers toward
+//! the in-range value closest to zero, floats toward `0.0` (with a hop to
+//! the truncated integer on the way), vectors by deleting chunks. Float
+//! generators can inject IEEE specials (`NaN`, `±inf`, subnormals, `±MAX`)
+//! with a configurable probability; specials shrink to ordinary values
+//! first so minimal counterexamples stay readable.
+
+use std::rc::Rc;
+
+use mixq_tensor::Rng;
+
+use crate::tree::{vec_tree, Shrinkable};
+
+type RunFn<T> = Rc<dyn Fn(&mut Rng) -> Shrinkable<T>>;
+type BindFn<T, U> = Rc<dyn Fn(&T) -> Gen<U>>;
+
+/// A reusable generator of shrinkable `T` values.
+pub struct Gen<T> {
+    run: RunFn<T>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Self {
+            run: Rc::clone(&self.run),
+        }
+    }
+}
+
+impl<T: Clone + 'static> Gen<T> {
+    pub fn new(run: impl Fn(&mut Rng) -> Shrinkable<T> + 'static) -> Self {
+        Self { run: Rc::new(run) }
+    }
+
+    /// Draws one shrinkable value.
+    pub fn generate(&self, rng: &mut Rng) -> Shrinkable<T> {
+        (self.run)(rng)
+    }
+
+    /// Always produces `value` (no shrinking).
+    pub fn constant(value: T) -> Self {
+        Gen::new(move |_| Shrinkable::leaf(value.clone()))
+    }
+
+    /// Applies `f` to generated values; shrinking stays in the source
+    /// domain and is re-mapped, so `map` never loses shrink structure.
+    pub fn map<U: Clone + 'static>(&self, f: impl Fn(&T) -> U + 'static) -> Gen<U> {
+        let g = self.clone();
+        let f: Rc<dyn Fn(&T) -> U> = Rc::new(f);
+        Gen::new(move |rng| g.generate(rng).map(Rc::clone(&f)))
+    }
+
+    /// Pairs two independent generators (left shrinks first).
+    pub fn zip<U: Clone + 'static>(&self, other: &Gen<U>) -> Gen<(T, U)> {
+        let (a, b) = (self.clone(), other.clone());
+        Gen::new(move |rng| {
+            let ta = a.generate(rng);
+            let tb = b.generate(rng);
+            ta.zip(&tb)
+        })
+    }
+
+    /// Monadic bind: the second generator depends on the first value. The
+    /// inner generator is re-run from a captured per-case seed whenever the
+    /// outer value shrinks, so both layers stay shrinkable.
+    pub fn bind<U: Clone + 'static>(&self, f: impl Fn(&T) -> Gen<U> + 'static) -> Gen<U> {
+        let g = self.clone();
+        let f: BindFn<T, U> = Rc::new(f);
+        Gen::new(move |rng| {
+            let outer = g.generate(rng);
+            let seed = rng.next_u64();
+            bind_tree(&outer, Rc::clone(&f), seed)
+        })
+    }
+
+    /// A vector of `self` values with a length drawn from
+    /// `[min_len, max_len]`. Shrinks by deleting chunks of elements (never
+    /// below `min_len`) and by shrinking elements in place.
+    pub fn vec_of(&self, min_len: usize, max_len: usize) -> Gen<Vec<T>> {
+        assert!(min_len <= max_len);
+        let elem = self.clone();
+        Gen::new(move |rng| {
+            let n = min_len + rng.gen_range(max_len - min_len + 1);
+            let elems: Vec<Shrinkable<T>> = (0..n).map(|_| elem.generate(rng)).collect();
+            vec_tree(elems, min_len)
+        })
+    }
+
+    /// Picks uniformly from a fixed list; shrinks toward the first entry.
+    pub fn one_of(choices: Vec<T>) -> Self {
+        assert!(!choices.is_empty(), "one_of needs at least one choice");
+        Gen::new(move |rng| {
+            let idx = rng.gen_range(choices.len());
+            index_tree(Rc::new(choices.clone()), idx)
+        })
+    }
+}
+
+fn index_tree<T: Clone + 'static>(choices: Rc<Vec<T>>, idx: usize) -> Shrinkable<T> {
+    Shrinkable::new(choices[idx].clone(), move || {
+        // Earlier entries are by convention simpler.
+        (0..idx)
+            .map(|i| index_tree(Rc::clone(&choices), i))
+            .collect()
+    })
+}
+
+fn bind_tree<T: Clone + 'static, U: Clone + 'static>(
+    outer: &Shrinkable<T>,
+    f: BindFn<T, U>,
+    seed: u64,
+) -> Shrinkable<U> {
+    let mut rng = Rng::seed_from_u64(seed);
+    let inner = f(outer.value()).generate(&mut rng);
+    let o = outer.clone();
+    let fi = Rc::clone(&f);
+    let inner_clone = inner.clone();
+    Shrinkable::new(inner.value().clone(), move || {
+        let mut out: Vec<Shrinkable<U>> = o
+            .shrinks()
+            .iter()
+            .map(|s| bind_tree(s, Rc::clone(&fi), seed))
+            .collect();
+        out.extend(inner_clone.shrinks());
+        out
+    })
+}
+
+// ---- integers ----------------------------------------------------------------
+
+fn int_tree(origin: i64, v: i64) -> Shrinkable<i64> {
+    Shrinkable::new(v, move || {
+        if v == origin {
+            return Vec::new();
+        }
+        let mut cands = vec![origin];
+        let half = origin + (v - origin) / 2;
+        if half != origin && half != v {
+            cands.push(half);
+        }
+        let step = if v > origin { v - 1 } else { v + 1 };
+        if step != origin && !cands.contains(&step) {
+            cands.push(step);
+        }
+        cands.into_iter().map(|c| int_tree(origin, c)).collect()
+    })
+}
+
+/// Uniform `i64` in `[lo, hi]`, shrinking toward the in-range value closest
+/// to zero.
+pub fn i64_in(lo: i64, hi: i64) -> Gen<i64> {
+    assert!(lo <= hi);
+    Gen::new(move |rng| {
+        let span = (hi - lo) as u64 as usize + 1;
+        let v = lo + rng.gen_range(span) as i64;
+        int_tree(0i64.clamp(lo, hi), v)
+    })
+}
+
+/// Uniform `i32` in `[lo, hi]`, shrinking toward zero (clamped in range).
+pub fn i32_in(lo: i32, hi: i32) -> Gen<i32> {
+    i64_in(lo as i64, hi as i64).map(|&v| v as i32)
+}
+
+/// Uniform `usize` in `[lo, hi]`, shrinking toward `lo`.
+pub fn usize_in(lo: usize, hi: usize) -> Gen<usize> {
+    assert!(lo <= hi);
+    Gen::new(move |rng| {
+        let v = lo + rng.gen_range(hi - lo + 1);
+        int_tree(lo as i64, v as i64)
+    })
+    .map(|&v| v as usize)
+}
+
+/// Bernoulli draw; `true` shrinks to `false`.
+pub fn bool_p(p: f64) -> Gen<bool> {
+    Gen::new(move |rng| {
+        let v = rng.bernoulli(p);
+        if v {
+            Shrinkable::new(true, || vec![Shrinkable::leaf(false)])
+        } else {
+            Shrinkable::leaf(false)
+        }
+    })
+}
+
+// ---- floats ------------------------------------------------------------------
+
+fn f32_tree(origin: f32, v: f32, depth: u32) -> Shrinkable<f32> {
+    Shrinkable::new(v, move || {
+        if depth == 0 || v == origin {
+            return Vec::new();
+        }
+        let mut cands: Vec<f32> = Vec::new();
+        if !v.is_finite() {
+            // Specials first collapse to ordinary values.
+            return vec![
+                f32_tree(origin, origin, depth - 1),
+                f32_tree(origin, 1.0, depth - 1),
+            ];
+        }
+        cands.push(origin);
+        let t = v.trunc();
+        if t != v && t != origin {
+            cands.push(t);
+        }
+        let half = origin + (v - origin) * 0.5;
+        if half != origin && half != v && !cands.contains(&half) {
+            cands.push(half);
+        }
+        cands
+            .into_iter()
+            .map(|c| f32_tree(origin, c, depth - 1))
+            .collect()
+    })
+}
+
+/// Uniform `f32` in `[lo, hi)`, shrinking toward the in-range value closest
+/// to `0.0` (via the truncated integer and binary halving).
+pub fn f32_in(lo: f32, hi: f32) -> Gen<f32> {
+    assert!(lo < hi && lo.is_finite() && hi.is_finite());
+    Gen::new(move |rng| {
+        let v = rng.uniform_in(lo, hi);
+        f32_tree(0f32.clamp(lo, hi), v, 64)
+    })
+}
+
+/// IEEE special values worth throwing at numeric code.
+pub const F32_SPECIALS: [f32; 9] = [
+    0.0,
+    -0.0,
+    f32::NAN,
+    f32::INFINITY,
+    f32::NEG_INFINITY,
+    f32::MIN_POSITIVE,
+    1.0e-42, // subnormal
+    f32::MAX,
+    f32::MIN,
+];
+
+/// Like [`f32_in`] but with probability `p_special` the draw is replaced by
+/// one of [`F32_SPECIALS`]. Specials shrink to ordinary in-range values.
+pub fn f32_with_specials(lo: f32, hi: f32, p_special: f64) -> Gen<f32> {
+    assert!(lo < hi && lo.is_finite() && hi.is_finite());
+    Gen::new(move |rng| {
+        let origin = 0f32.clamp(lo, hi);
+        if rng.bernoulli(p_special) {
+            let v = F32_SPECIALS[rng.gen_range(F32_SPECIALS.len())];
+            f32_tree(origin, v, 64)
+        } else {
+            f32_tree(origin, rng.uniform_in(lo, hi), 64)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ints_shrink_toward_zero_in_range() {
+        let g = i64_in(-100, 100);
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..50 {
+            let t = g.generate(&mut rng);
+            assert!((-100..=100).contains(t.value()));
+            // Walking first children greedily reaches the origin.
+            let mut cur = t;
+            while let Some(c) = cur.shrinks().into_iter().next() {
+                cur = c;
+            }
+            assert_eq!(*cur.value(), 0);
+        }
+    }
+
+    #[test]
+    fn usize_respects_bounds_and_shrinks_to_lo() {
+        let g = usize_in(3, 9);
+        let mut rng = Rng::seed_from_u64(2);
+        for _ in 0..30 {
+            let t = g.generate(&mut rng);
+            assert!((3..=9).contains(t.value()));
+            let mut cur = t;
+            while let Some(c) = cur.shrinks().into_iter().next() {
+                cur = c;
+            }
+            assert_eq!(*cur.value(), 3);
+        }
+    }
+
+    #[test]
+    fn float_specials_shrink_to_ordinary_values() {
+        let mut rng = Rng::seed_from_u64(3);
+        let g = f32_with_specials(-1.0, 1.0, 1.0); // always special
+        let mut saw_nonfinite = false;
+        for _ in 0..40 {
+            let t = g.generate(&mut rng);
+            if !t.value().is_finite() {
+                saw_nonfinite = true;
+                let kids = t.shrinks();
+                assert!(kids.iter().all(|k| k.value().is_finite()));
+            }
+        }
+        assert!(saw_nonfinite, "specials distribution must hit NaN/inf");
+    }
+
+    #[test]
+    fn vec_of_lengths_and_shrinks() {
+        let g = i32_in(0, 9).vec_of(1, 6);
+        let mut rng = Rng::seed_from_u64(4);
+        for _ in 0..30 {
+            let t = g.generate(&mut rng);
+            assert!((1..=6).contains(&t.value().len()));
+            for k in t.shrinks() {
+                assert!(!k.value().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn bind_regenerates_inner_on_outer_shrink() {
+        // Outer length, inner vector of exactly that length.
+        let g = usize_in(1, 5).bind(|&n| i32_in(0, 3).vec_of(n, n));
+        let mut rng = Rng::seed_from_u64(5);
+        for _ in 0..20 {
+            let t = g.generate(&mut rng);
+            let n = t.value().len();
+            assert!((1..=5).contains(&n));
+            for k in t.shrinks() {
+                assert!(k.value().len() <= n, "shrinks never grow");
+            }
+        }
+    }
+
+    #[test]
+    fn one_of_shrinks_toward_first_choice() {
+        let g = Gen::one_of(vec![2u8, 4, 8, 16, 32]);
+        let mut rng = Rng::seed_from_u64(6);
+        for _ in 0..20 {
+            let mut cur = g.generate(&mut rng);
+            while let Some(c) = cur.shrinks().into_iter().next() {
+                cur = c;
+            }
+            assert_eq!(*cur.value(), 2);
+        }
+    }
+}

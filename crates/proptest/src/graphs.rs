@@ -1,0 +1,278 @@
+//! Random CSR graph generation with integrated shrinking.
+//!
+//! GNN quantization bugs concentrate in degree extremes — hub rows that
+//! saturate accumulators, isolated nodes whose aggregation is empty, and
+//! self-loops that alias source and destination. [`GraphConfig`] exposes
+//! knobs for all three regimes (degree skew via `degree_alpha`, an isolated
+//! node fraction, a self-loop toggle) so suites can steer generation into
+//! the regions the paper's Theorem 1 must survive.
+//!
+//! Shrinking is structural, not element-wise: a failing graph first tries
+//! dropping whole node suffixes (edges referencing removed nodes go with
+//! them), then deletes edge chunks, then canonicalizes edge weights to
+//! `1.0`. A counterexample on a 200-node graph typically minimizes to a
+//! handful of nodes and one or two edges.
+
+use std::rc::Rc;
+
+use mixq_sparse::{CooEntry, CsrMatrix};
+
+use crate::gen::Gen;
+use crate::tree::Shrinkable;
+
+/// Knobs for random graph generation.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphConfig {
+    /// Minimum node count (also the shrink floor).
+    pub min_nodes: usize,
+    /// Maximum node count (inclusive).
+    pub max_nodes: usize,
+    /// Maximum out-degree drawn per non-isolated node.
+    pub max_degree: usize,
+    /// Destination skew exponent: `1.0` is uniform, larger values
+    /// concentrate edges onto low-index hub nodes (power-law-ish degree
+    /// distributions, the Degree-Quant failure regime).
+    pub degree_alpha: f64,
+    /// Probability that a node is isolated (no incident out-edges).
+    pub isolated_frac: f64,
+    /// Whether self-loop edges are kept.
+    pub self_loops: bool,
+    /// Edge weight range (uniform draw in `[val_lo, val_hi)`).
+    pub val_lo: f32,
+    pub val_hi: f32,
+}
+
+impl Default for GraphConfig {
+    fn default() -> Self {
+        Self {
+            min_nodes: 1,
+            max_nodes: 24,
+            max_degree: 6,
+            degree_alpha: 2.0,
+            isolated_frac: 0.15,
+            self_loops: true,
+            val_lo: -2.0,
+            val_hi: 2.0,
+        }
+    }
+}
+
+/// A generated graph: `nodes` and a duplicate-free edge list
+/// `(src, dst, weight)` with `src, dst < nodes`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomGraph {
+    pub nodes: usize,
+    pub edges: Vec<(usize, usize, f32)>,
+}
+
+impl RandomGraph {
+    /// The square `nodes × nodes` adjacency matrix in CSR form.
+    pub fn to_csr(&self) -> CsrMatrix {
+        CsrMatrix::from_coo(
+            self.nodes,
+            self.nodes,
+            self.edges
+                .iter()
+                .map(|&(row, col, val)| CooEntry { row, col, val })
+                .collect(),
+        )
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Largest number of edges sharing one source row.
+    pub fn max_row_nnz(&self) -> usize {
+        let mut per_row = vec![0usize; self.nodes];
+        for &(src, _, _) in &self.edges {
+            per_row[src] += 1;
+        }
+        per_row.into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Generator of [`RandomGraph`] under `cfg`, shrinking nodes-first.
+pub fn graph(cfg: GraphConfig) -> Gen<RandomGraph> {
+    assert!(cfg.min_nodes >= 1 && cfg.min_nodes <= cfg.max_nodes);
+    assert!(cfg.val_lo < cfg.val_hi);
+    Gen::new(move |rng| {
+        let n = cfg.min_nodes + rng.gen_range(cfg.max_nodes - cfg.min_nodes + 1);
+        let isolated: Vec<bool> = (0..n).map(|_| rng.bernoulli(cfg.isolated_frac)).collect();
+        let active: Vec<usize> = (0..n).filter(|&i| !isolated[i]).collect();
+        let mut edges: Vec<(usize, usize, f32)> = Vec::new();
+        if !active.is_empty() {
+            for &src in &active {
+                let deg = rng.gen_range(cfg.max_degree + 1);
+                for _ in 0..deg {
+                    // u^alpha compresses toward 0 for alpha > 1, turning
+                    // low-index active nodes into high-in-degree hubs.
+                    let u = rng.uniform().powf(cfg.degree_alpha);
+                    let pos = ((u * active.len() as f64) as usize).min(active.len() - 1);
+                    let dst = active[pos];
+                    if dst == src && !cfg.self_loops {
+                        continue;
+                    }
+                    edges.push((src, dst, rng.uniform_in(cfg.val_lo, cfg.val_hi)));
+                }
+            }
+        }
+        edges.sort_unstable_by_key(|a| (a.0, a.1));
+        edges.dedup_by_key(|e| (e.0, e.1));
+        graph_tree(cfg.min_nodes, n, Rc::new(edges))
+    })
+}
+
+fn graph_tree(
+    min_nodes: usize,
+    nodes: usize,
+    edges: Rc<Vec<(usize, usize, f32)>>,
+) -> Shrinkable<RandomGraph> {
+    let value = RandomGraph {
+        nodes,
+        edges: (*edges).clone(),
+    };
+    Shrinkable::new(value, move || {
+        let mut out: Vec<Shrinkable<RandomGraph>> = Vec::new();
+        // 1. Node-suffix removal: try the floor, the midpoint, then n−1.
+        //    Edges referencing removed nodes are dropped with them.
+        let mut node_cands = vec![min_nodes, nodes / 2, nodes - 1];
+        node_cands.retain(|&m| m >= min_nodes && m < nodes);
+        node_cands.dedup();
+        for m in node_cands {
+            let kept: Vec<_> = edges
+                .iter()
+                .filter(|&&(s, d, _)| s < m && d < m)
+                .copied()
+                .collect();
+            out.push(graph_tree(min_nodes, m, Rc::new(kept)));
+        }
+        // 2. Edge chunk deletion, halves first.
+        let ne = edges.len();
+        let mut chunk = ne / 2;
+        while chunk >= 1 {
+            let mut start = 0;
+            while start + chunk <= ne {
+                let mut kept = (*edges).clone();
+                kept.drain(start..start + chunk);
+                out.push(graph_tree(min_nodes, nodes, Rc::new(kept)));
+                start += chunk;
+            }
+            chunk /= 2;
+        }
+        // 3. Canonicalize edge weights to 1.0, one edge at a time.
+        for i in 0..ne {
+            if edges[i].2 != 1.0 {
+                let mut next = (*edges).clone();
+                next[i].2 = 1.0;
+                out.push(graph_tree(min_nodes, nodes, Rc::new(next)));
+            }
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixq_tensor::Rng;
+
+    #[test]
+    fn generated_graphs_are_valid_and_build_csr() {
+        let g = graph(GraphConfig::default());
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..50 {
+            let t = g.generate(&mut rng);
+            let rg = t.value();
+            assert!((1..=24).contains(&rg.nodes));
+            for &(s, d, v) in &rg.edges {
+                assert!(s < rg.nodes && d < rg.nodes);
+                assert!(v.is_finite());
+            }
+            let a = rg.to_csr();
+            assert_eq!(a.rows(), rg.nodes);
+            assert_eq!(a.nnz(), rg.edges.len(), "edge list must be duplicate-free");
+        }
+    }
+
+    #[test]
+    fn shrinks_reduce_nodes_and_stay_consistent() {
+        let cfg = GraphConfig {
+            min_nodes: 2,
+            max_nodes: 16,
+            ..GraphConfig::default()
+        };
+        let g = graph(cfg);
+        let mut rng = Rng::seed_from_u64(2);
+        for _ in 0..20 {
+            let t = g.generate(&mut rng);
+            let n = t.value().nodes;
+            for k in t.shrinks() {
+                let rg = k.value();
+                assert!(rg.nodes >= 2 && rg.nodes <= n);
+                for &(s, d, _) in &rg.edges {
+                    assert!(s < rg.nodes && d < rg.nodes, "shrunk edges stay in range");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_walk_reaches_minimal_graph() {
+        let g = graph(GraphConfig::default());
+        let mut rng = Rng::seed_from_u64(3);
+        // Property that always fails: walking first children must bottom out
+        // at min_nodes with no edges.
+        let mut cur = g.generate(&mut rng);
+        loop {
+            let kids = cur.shrinks();
+            match kids.into_iter().next() {
+                Some(k) => cur = k,
+                None => break,
+            }
+        }
+        assert_eq!(cur.value().nodes, 1);
+        // A 1-node graph can retain at most a self-loop of weight 1.0.
+        assert!(cur.value().edges.len() <= 1);
+    }
+
+    #[test]
+    fn no_self_loops_when_disabled() {
+        let cfg = GraphConfig {
+            self_loops: false,
+            ..GraphConfig::default()
+        };
+        let g = graph(cfg);
+        let mut rng = Rng::seed_from_u64(4);
+        for _ in 0..30 {
+            let t = g.generate(&mut rng);
+            assert!(t.value().edges.iter().all(|&(s, d, _)| s != d));
+        }
+    }
+
+    #[test]
+    fn isolated_fraction_produces_zero_rows() {
+        let cfg = GraphConfig {
+            min_nodes: 30,
+            max_nodes: 40,
+            isolated_frac: 0.5,
+            ..GraphConfig::default()
+        };
+        let g = graph(cfg);
+        let mut rng = Rng::seed_from_u64(5);
+        let mut saw_isolated = false;
+        for _ in 0..10 {
+            let t = g.generate(&mut rng);
+            let rg = t.value();
+            let mut has_edge = vec![false; rg.nodes];
+            for &(s, d, _) in &rg.edges {
+                has_edge[s] = true;
+                has_edge[d] = true;
+            }
+            if has_edge.iter().any(|&h| !h) {
+                saw_isolated = true;
+            }
+        }
+        assert!(saw_isolated, "isolated_frac=0.5 must yield isolated nodes");
+    }
+}

@@ -1,0 +1,49 @@
+//! `mixq-proptest`: the workspace's in-repo property-testing framework.
+//!
+//! PR 1 removed the external `proptest` crate so the workspace builds
+//! offline; this crate restores real property-based testing — composable
+//! generators with *integrated shrinking* — on top of the workspace's own
+//! deterministic [`mixq_tensor::Rng`], with zero external dependencies.
+//!
+//! # Architecture
+//!
+//! * [`tree`] — [`Shrinkable<T>`]: a value plus a lazy rose tree of simpler
+//!   candidates. Combinators transport shrink structure automatically.
+//! * [`gen`] — [`Gen<T>`]: `Rng → Shrinkable<T>` with `map`/`zip`/`bind`/
+//!   `vec_of`/`one_of` combinators and primitive generators for integers,
+//!   floats (optionally with IEEE specials), and booleans.
+//! * [`graphs`] — CSR graph generation with degree skew, isolated nodes
+//!   and self-loops; shrinks nodes-first, then edges, then weights.
+//! * [`qparams`] — bit-width and [`mixq_tensor::QuantParams`] generators
+//!   over the paper's mixed-precision menu `{2, 3, 4, 8, 16, 32}`.
+//! * [`runner`] — [`Config::run`]: the seeded case loop with greedy
+//!   shrinking, `MIXQ_PT_SEED`/`MIXQ_PT_CASES` env knobs, telemetry case
+//!   counters, and reproducible failure reports.
+//!
+//! # Writing a property
+//!
+//! ```
+//! use mixq_proptest::{gen, Config};
+//!
+//! Config::new("abs_is_nonneg")
+//!     .cases(32)
+//!     .run(&gen::i64_in(-1000, 1000), |&v| {
+//!         assert!(v.abs() >= 0);
+//!     });
+//! ```
+//!
+//! On failure the runner prints the minimal counterexample plus a
+//! `MIXQ_PT_SEED=0x… cargo test <suite>` line; exporting that variable
+//! replays exactly the failing case.
+
+pub mod gen;
+pub mod graphs;
+pub mod qparams;
+pub mod runner;
+pub mod tree;
+
+pub use gen::{bool_p, f32_in, f32_with_specials, i32_in, i64_in, usize_in, Gen, F32_SPECIALS};
+pub use graphs::{graph, GraphConfig, RandomGraph};
+pub use qparams::{bits, bits_up_to, quant_params, symmetric_params, BIT_MENU};
+pub use runner::Config;
+pub use tree::{vec_tree, Shrinkable};

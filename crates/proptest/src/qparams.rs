@@ -1,0 +1,108 @@
+//! Generators for quantization bit-widths and [`QuantParams`].
+//!
+//! Bit-widths cover the full mixed-precision menu the paper searches over
+//! (`{2, 3, 4, 8, 16, 32}`) and shrink toward 2 bits — the coarsest
+//! quantizer, where a minimal counterexample is easiest to reason about.
+//! Parameter generation goes through the public constructors
+//! ([`QuantParams::from_min_max`] / [`QuantParams::symmetric`]) rather than
+//! raw field assembly, so fuzzed parameters are always ones the library
+//! itself can produce — including the degenerate ranges (`min == max`,
+//! single-value, subnormal spans) that the quantizer must survive.
+
+use mixq_tensor::QuantParams;
+
+use crate::gen::{f32_in, Gen};
+
+/// The bit-widths exercised by the conformance suites.
+pub const BIT_MENU: [u8; 6] = [2, 3, 4, 8, 16, 32];
+
+/// Picks a bit-width from [`BIT_MENU`], shrinking toward 2.
+pub fn bits() -> Gen<u8> {
+    Gen::one_of(BIT_MENU.to_vec())
+}
+
+/// Picks a bit-width from [`BIT_MENU`] capped at `max_bits` (inclusive),
+/// shrinking toward 2. Useful when wide accumulators would overflow the
+/// differential reference.
+pub fn bits_up_to(max_bits: u8) -> Gen<u8> {
+    let menu: Vec<u8> = BIT_MENU
+        .iter()
+        .copied()
+        .filter(|&b| b <= max_bits)
+        .collect();
+    assert!(!menu.is_empty(), "no bit-width <= {max_bits} in menu");
+    Gen::one_of(menu)
+}
+
+/// Asymmetric (affine) quantizer over a generated `[min, max]` range with a
+/// generated bit-width. `mag` bounds the endpoint magnitudes.
+pub fn quant_params(mag: f32) -> Gen<QuantParams> {
+    assert!(mag > 0.0 && mag.is_finite());
+    f32_in(-mag, mag)
+        .zip(&f32_in(-mag, mag))
+        .zip(&bits())
+        .map(|&((a, b), bits)| QuantParams::from_min_max(a.min(b), a.max(b), bits))
+}
+
+/// Symmetric quantizer (`Z = 0`) with a generated amplitude and bit-width.
+pub fn symmetric_params(mag: f32) -> Gen<QuantParams> {
+    assert!(mag > 0.0 && mag.is_finite());
+    f32_in(0.0, mag)
+        .zip(&bits())
+        .map(|&(a, bits)| QuantParams::symmetric(-a, a, bits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mixq_tensor::Rng;
+
+    #[test]
+    fn bits_stay_in_menu_and_shrink_to_two() {
+        let g = bits();
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..30 {
+            let mut cur = g.generate(&mut rng);
+            assert!(BIT_MENU.contains(cur.value()));
+            while let Some(k) = cur.shrinks().into_iter().next() {
+                cur = k;
+            }
+            assert_eq!(*cur.value(), 2);
+        }
+    }
+
+    #[test]
+    fn bits_up_to_respects_cap() {
+        let g = bits_up_to(8);
+        let mut rng = Rng::seed_from_u64(2);
+        for _ in 0..30 {
+            assert!(*g.generate(&mut rng).value() <= 8);
+        }
+    }
+
+    #[test]
+    fn generated_params_are_always_usable() {
+        let g = quant_params(8.0);
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..100 {
+            let qp = *g.generate(&mut rng).value();
+            assert!(qp.scale > 0.0 && qp.scale.is_finite(), "{qp:?}");
+            assert!(
+                qp.qmin <= qp.zero_point && qp.zero_point <= qp.qmax,
+                "{qp:?}"
+            );
+            assert_eq!(qp.fake(0.0), 0.0, "zero must stay exact: {qp:?}");
+        }
+    }
+
+    #[test]
+    fn symmetric_params_have_zero_zero_point() {
+        let g = symmetric_params(4.0);
+        let mut rng = Rng::seed_from_u64(4);
+        for _ in 0..50 {
+            let qp = *g.generate(&mut rng).value();
+            assert_eq!(qp.zero_point, 0);
+            assert!(qp.scale > 0.0 && qp.scale.is_finite());
+        }
+    }
+}

@@ -37,8 +37,8 @@ pub use mixq_parallel as parallel;
 pub use mixq_parallel::{num_threads, set_num_threads};
 
 pub use error::{MixqError, MixqResult};
-pub use gradcheck::{assert_close, numeric_grad};
+pub use gradcheck::{assert_close, assert_close_tol, numeric_grad};
 pub use matrix::Matrix;
 pub use quant::QuantParams;
 pub use rng::Rng;
-pub use tape::{softmax_slice, BatchNormOut, SpPair, Tape, Var};
+pub use tape::{softmax_slice, BatchNormOut, SpPair, Tape, Var, ALL_OP_NAMES};

@@ -39,9 +39,24 @@ impl QuantParams {
     }
 
     /// Builds parameters covering `[min, max]` with an asymmetric (affine)
-    /// mapping. Degenerate ranges are widened so the scale stays positive.
+    /// mapping. Degenerate ranges are widened so the scale stays positive,
+    /// and non-finite endpoints (NaN from an empty reduction, ±inf from an
+    /// upstream overflow) are sanitized instead of poisoning the scale:
+    /// NaN collapses to 0, infinities saturate to the largest finite
+    /// magnitude. The returned scale is always finite and > 0.
     pub fn from_min_max(mut min: f32, mut max: f32, bits: u8) -> Self {
         let (qmin, qmax) = Self::int_range(bits);
+        if min.is_nan() {
+            min = 0.0;
+        }
+        if max.is_nan() {
+            max = 0.0;
+        }
+        min = min.clamp(f32::MIN, f32::MAX);
+        max = max.clamp(f32::MIN, f32::MAX);
+        if min > max {
+            std::mem::swap(&mut min, &mut max);
+        }
         // The range must contain zero so that 0.0 is exactly representable
         // (standard requirement: padding/zero messages stay exact).
         min = min.min(0.0);
@@ -51,7 +66,24 @@ impl QuantParams {
         }
         // Widen before subtracting: for bits = 32, `qmax - qmin` overflows
         // i32 (i32::MAX − i32::MIN), panicking in debug builds.
-        let scale = ((max as f64 - min as f64) / (qmax as i64 - qmin as i64) as f64) as f32;
+        let mut scale = ((max as f64 - min as f64) / (qmax as i64 - qmin as i64) as f64) as f32;
+        if !(scale.is_finite() && scale > 0.0) {
+            // A span narrow enough (or wide enough) that the f64→f32 cast
+            // lands on 0 or inf; saturate to the nearest positive normal.
+            scale = if scale == 0.0 {
+                f32::MIN_POSITIVE
+            } else {
+                f32::MAX
+            };
+        }
+        // Near-f32::MAX spans can round the scale up just enough that the
+        // extreme code dequantizes past f32::MAX to inf; nudge the scale
+        // down one ULP at a time until the whole code range reconstructs
+        // finite (one step suffices in practice).
+        let span_codes = (qmax as i64 - qmin as i64) as f32;
+        while !(span_codes * scale).is_finite() {
+            scale = f32::from_bits(scale.to_bits() - 1);
+        }
         let zero_point = (qmin as f32 - min / scale)
             .round()
             .clamp(qmin as f32, qmax as f32) as i32;

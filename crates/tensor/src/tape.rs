@@ -63,65 +63,103 @@ pub struct BatchNormOut {
     pub var: Vec<f32>,
 }
 
-/// One recorded operation. Parent handles always point at earlier nodes.
-enum Op {
-    Leaf,
-    MatMul(Var, Var),
+/// Declares the `Op` enum, its `name()` method, and [`ALL_OP_NAMES`] from a
+/// single variant list, so the three can never drift apart. The autograd
+/// fuzz suite iterates [`ALL_OP_NAMES`] and fails on any name it has no
+/// gradient case for — adding a variant here without adding a test case
+/// fails that suite, and forgetting to list the variant at all fails the
+/// build (the forward op's constructor won't compile).
+macro_rules! define_ops {
+    (
+        $(
+            $name:ident $( ( $($tty:ty),* $(,)? ) )? $( { $($f:ident : $fty:ty),* $(,)? } )? => $sname:literal
+        ),* $(,)?
+    ) => {
+        /// One recorded operation. Parent handles always point at earlier
+        /// nodes.
+        enum Op {
+            $(
+                $name $( ( $($tty),* ) )? $( { $($f: $fty),* } )?,
+            )*
+        }
+
+        /// The snake-case name of every `Op` variant, in declaration order.
+        /// Test suites enumerate this to guarantee per-variant coverage.
+        pub const ALL_OP_NAMES: &[&str] = &[$($sname),*];
+
+        impl Op {
+            fn name(&self) -> &'static str {
+                match self {
+                    $(
+                        define_ops!(@pat $name $( ( $($tty),* ) )? $( { $($f: $fty),* } )?) => $sname,
+                    )*
+                }
+            }
+        }
+    };
+    (@pat $name:ident) => { Op::$name };
+    (@pat $name:ident ( $($tty:ty),* )) => { Op::$name(..) };
+    (@pat $name:ident { $($f:ident : $fty:ty),* }) => { Op::$name { .. } };
+}
+
+define_ops! {
+    Leaf => "leaf",
+    MatMul(Var, Var) => "matmul",
     Spmm {
         pair: Arc<SpPair>,
         x: Var,
-    },
-    Add(Var, Var),
-    Sub(Var, Var),
-    Mul(Var, Var),
+    } => "spmm",
+    Add(Var, Var) => "add",
+    Sub(Var, Var) => "sub",
+    Mul(Var, Var) => "mul",
     AddBias {
         x: Var,
         bias: Var,
-    },
+    } => "add_bias",
     Scale {
         x: Var,
         c: f32,
-    },
+    } => "scale",
     MulScalarVar {
         x: Var,
         s: Var,
-    },
+    } => "mul_scalar_var",
     AffineCols {
         x: Var,
         scale: Box<[f32]>,
-    },
-    Exp(Var),
-    Relu(Var),
+    } => "affine_cols",
+    Exp(Var) => "exp",
+    Relu(Var) => "relu",
     LeakyRelu {
         x: Var,
         slope: f32,
-    },
+    } => "leaky_relu",
     Dropout {
         x: Var,
         mask: Box<[f32]>,
-    },
-    LogSoftmaxRows(Var),
+    } => "dropout",
+    LogSoftmaxRows(Var) => "log_softmax",
     NllMasked {
         logp: Var,
         targets: Box<[u32]>,
         rows: Box<[u32]>,
-    },
+    } => "nll",
     BceWithLogits {
         logits: Var,
         targets: Box<Matrix>,
         rows: Box<[u32]>,
-    },
+    } => "bce",
     BatchNorm {
         x: Var,
         gamma: Var,
         beta: Var,
         xhat: Box<Matrix>,
         inv_std: Box<[f32]>,
-    },
+    } => "batch_norm",
     GlobalMaxPool {
         x: Var,
         argmax: Box<[u32]>,
-    },
+    } => "global_max_pool",
     GatAggregate {
         h: Var,
         src: Var,
@@ -129,77 +167,42 @@ enum Op {
         adj: Arc<CsrMatrix>,
         alphas: Box<[f32]>,
         slope: f32,
-    },
+    } => "gat_aggregate",
     DotAttnAggregate {
         q: Var,
         k: Var,
         v: Var,
         adj: Arc<CsrMatrix>,
         alphas: Box<[f32]>,
-    },
-    SumAll(Var),
-    MeanAll(Var),
+    } => "dot_attn_aggregate",
+    SumAll(Var) => "sum_all",
+    MeanAll(Var) => "mean_all",
     FakeQuant {
         x: Var,
         qp: QuantParams,
-    },
+    } => "fake_quant",
     FakeQuantLsq {
         x: Var,
         scale: Var,
         qmin: i32,
         qmax: i32,
         grad_scale: f32,
-    },
+    } => "fake_quant_lsq",
     FakeQuantRows {
         x: Var,
         qps: Box<[QuantParams]>,
-    },
+    } => "fake_quant_rows",
     RelaxedFakeQuant {
         x: Var,
         alphas: Var,
         qps: Box<[QuantParams]>,
         quants: Box<[Matrix]>,
-    },
+    } => "relaxed_fake_quant",
     BitPenalty {
         alphas: Var,
         bits: Box<[f32]>,
         numel: f32,
-    },
-}
-
-impl Op {
-    fn name(&self) -> &'static str {
-        match self {
-            Op::Leaf => "leaf",
-            Op::MatMul(..) => "matmul",
-            Op::Spmm { .. } => "spmm",
-            Op::Add(..) => "add",
-            Op::Sub(..) => "sub",
-            Op::Mul(..) => "mul",
-            Op::AddBias { .. } => "add_bias",
-            Op::Scale { .. } => "scale",
-            Op::MulScalarVar { .. } => "mul_scalar_var",
-            Op::AffineCols { .. } => "affine_cols",
-            Op::Exp(..) => "exp",
-            Op::Relu(..) => "relu",
-            Op::LeakyRelu { .. } => "leaky_relu",
-            Op::Dropout { .. } => "dropout",
-            Op::LogSoftmaxRows(..) => "log_softmax",
-            Op::NllMasked { .. } => "nll",
-            Op::BceWithLogits { .. } => "bce",
-            Op::BatchNorm { .. } => "batch_norm",
-            Op::GlobalMaxPool { .. } => "global_max_pool",
-            Op::GatAggregate { .. } => "gat_aggregate",
-            Op::DotAttnAggregate { .. } => "dot_attn_aggregate",
-            Op::SumAll(..) => "sum_all",
-            Op::MeanAll(..) => "mean_all",
-            Op::FakeQuant { .. } => "fake_quant",
-            Op::FakeQuantLsq { .. } => "fake_quant_lsq",
-            Op::FakeQuantRows { .. } => "fake_quant_rows",
-            Op::RelaxedFakeQuant { .. } => "relaxed_fake_quant",
-            Op::BitPenalty { .. } => "bit_penalty",
-        }
-    }
+    } => "bit_penalty",
 }
 
 /// The autograd tape. Create one per forward pass.

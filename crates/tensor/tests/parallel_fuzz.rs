@@ -1,0 +1,117 @@
+//! Generated-case extension of `parallel_identity`: random shapes, random
+//! degree-skewed graphs, and random thread counts, checking that the
+//! threaded kernels — and a full forward+backward tape program driven
+//! through them — are *bit-identical* to the serial path.
+//!
+//! One `#[test]` only: the thread count and the serial-fallback threshold
+//! are process-wide knobs, and cargo runs tests in one binary concurrently.
+
+use std::sync::Arc;
+
+use mixq_proptest::{graph, usize_in, Config, Gen, GraphConfig, RandomGraph};
+use mixq_tensor::parallel::{set_num_threads, set_parallel_row_threshold, DEFAULT_ROW_THRESHOLD};
+use mixq_tensor::{Matrix, Rng, SpPair, Tape};
+
+fn assert_bits_eq(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+    let same = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .all(|(x, y)| x.to_bits() == y.to_bits());
+    assert!(
+        same,
+        "{what}: parallel result is not bit-identical to serial"
+    );
+}
+
+#[derive(Clone, Debug)]
+struct ParCase {
+    g: RandomGraph,
+    hidden: usize,
+    threads: usize,
+    seed: u64,
+}
+
+fn par_case() -> Gen<ParCase> {
+    let cfg = GraphConfig {
+        min_nodes: 1,
+        max_nodes: 24,
+        max_degree: 5,
+        degree_alpha: 2.0,
+        isolated_frac: 0.15,
+        self_loops: true,
+        val_lo: -1.0,
+        val_hi: 1.0,
+    };
+    graph(cfg)
+        .zip(&usize_in(1, 6))
+        .zip(&usize_in(2, 6))
+        .zip(&usize_in(0, 1 << 20))
+        .map(|&(((ref g, hidden), threads), seed)| ParCase {
+            g: g.clone(),
+            hidden,
+            threads,
+            seed: seed as u64,
+        })
+}
+
+/// One GCN-flavoured forward+backward that exercises the threaded matmul,
+/// SpMM, par_map (relu), and par_zip (mul) kernels plus their backward
+/// rules. Returns (loss, dX, dW) for bit comparison.
+fn run_program(pair: &Arc<SpPair>, x: &Matrix, w: &Matrix) -> (f32, Matrix, Matrix) {
+    let mut t = Tape::new();
+    let xv = t.leaf(x.clone());
+    let wv = t.leaf(w.clone());
+    let xw = t.matmul(xv, wv);
+    let h = t.relu(xw);
+    let y = t.spmm(pair, h);
+    let y2 = t.mul(y, y);
+    let loss = t.sum_all(y2);
+    t.backward(loss);
+    (
+        t.value(loss).item(),
+        t.grad(xv).unwrap().clone(),
+        t.grad(wv).unwrap().clone(),
+    )
+}
+
+#[test]
+fn fuzz_parallel_kernels_and_gradients_bit_identical_to_serial() {
+    // Force the threaded path even for tiny shapes.
+    set_parallel_row_threshold(0);
+
+    Config::new("parallel_identity")
+        .cases(48)
+        .run(&par_case(), |c| {
+            let n = c.g.nodes;
+            let pair = Arc::new(SpPair::new(c.g.to_csr()));
+            let mut rng = Rng::seed_from_u64(c.seed);
+            let feats = 1 + (c.seed as usize % 4);
+            let x = Matrix::from_fn(n, feats, |_, _| rng.uniform_in(-2.0, 2.0));
+            let w = Matrix::from_fn(feats, c.hidden, |_, _| rng.uniform_in(-1.0, 1.0));
+
+            set_num_threads(1);
+            let serial_mm = x.matmul(&w);
+            let (loss_s, dx_s, dw_s) = run_program(&pair, &x, &w);
+
+            set_num_threads(c.threads);
+            let par_mm = x.matmul(&w);
+            let (loss_p, dx_p, dw_p) = run_program(&pair, &x, &w);
+            set_num_threads(1);
+
+            assert_bits_eq(&serial_mm, &par_mm, "matmul forward");
+            assert_eq!(
+                loss_s.to_bits(),
+                loss_p.to_bits(),
+                "loss diverged at {} threads (nodes={n})",
+                c.threads
+            );
+            assert_bits_eq(&dx_s, &dx_p, "dX");
+            assert_bits_eq(&dw_s, &dw_p, "dW");
+        });
+
+    // Restore defaults for any later test in this binary.
+    set_num_threads(1);
+    set_parallel_row_threshold(DEFAULT_ROW_THRESHOLD);
+}

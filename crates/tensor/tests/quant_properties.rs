@@ -1,10 +1,12 @@
 //! Property-based tests of the quantization primitives.
 //!
-//! Randomized with the workspace's own seeded [`Rng`] rather than proptest:
-//! external dev-dependencies cannot be fetched in the offline build
-//! environment, and deterministic seeds make failures directly
-//! reproducible.
+//! The older suites below randomize with the workspace's seeded [`Rng`]
+//! directly; the edge-case suites at the bottom use the in-repo
+//! `mixq-proptest` framework (generators + shrinking + `MIXQ_PT_SEED`
+//! replay). No external dev-dependencies either way: the build environment
+//! is offline.
 
+use mixq_proptest::{f32_with_specials, Config, F32_SPECIALS};
 use mixq_tensor::{QuantParams, Rng};
 
 const CASES: u64 = 256;
@@ -114,5 +116,89 @@ fn symmetric_zero_code() {
         let qp = QuantParams::symmetric(lo, hi, bits);
         assert_eq!(qp.quantize(0.0), 0);
         assert_eq!(qp.fake(0.0), 0.0);
+    }
+}
+
+// ---- mixq-proptest edge-case suites -----------------------------------------
+
+/// Every constructed quantizer must be well-formed: positive finite scale,
+/// zero point inside the code range, zero exactly representable.
+fn assert_well_formed(qp: &QuantParams, ctx: &str) {
+    assert!(
+        qp.scale.is_finite() && qp.scale > 0.0,
+        "{ctx}: scale {} must be positive finite",
+        qp.scale
+    );
+    assert!(
+        qp.qmin <= qp.zero_point && qp.zero_point <= qp.qmax,
+        "{ctx}: zero point {} outside [{}, {}]",
+        qp.zero_point,
+        qp.qmin,
+        qp.qmax
+    );
+    assert_eq!(qp.fake(0.0), 0.0, "{ctx}: zero must round-trip exactly");
+}
+
+/// `from_min_max` over endpoints drawn with NaN/±inf/subnormal/extreme
+/// specials mixed in: the constructor must sanitize every combination into
+/// a usable quantizer — never an inf/NaN scale, never a panic.
+#[test]
+fn fuzz_from_min_max_survives_special_endpoints() {
+    let endpoint = f32_with_specials(-1e30, 1e30, 0.4);
+    let gen = endpoint.zip(&endpoint).zip(&mixq_proptest::bits());
+    Config::new("quant_edges")
+        .cases(192)
+        .run(&gen, |&((lo, hi), bits)| {
+            let qp = QuantParams::from_min_max(lo, hi, bits);
+            let ctx = format!("from_min_max({lo}, {hi}, {bits})");
+            assert_well_formed(&qp, &ctx);
+            // The quantizer must also *work*: codes clamp, dequantization
+            // of every representable code is finite.
+            for x in [lo, hi, 0.0, 1.0, -1.0] {
+                if x.is_finite() {
+                    let q = qp.quantize(x);
+                    assert!(q >= qp.qmin && q <= qp.qmax, "{ctx}: code {q} escaped");
+                }
+            }
+            assert!(qp.dequantize(qp.qmin).is_finite(), "{ctx}");
+            assert!(qp.dequantize(qp.qmax).is_finite(), "{ctx}");
+        });
+}
+
+/// Degenerate ranges: `min == max` (including exactly 0, subnormals, and
+/// large magnitudes) must widen to a positive scale and keep the
+/// single-valued input within one step.
+#[test]
+fn fuzz_from_min_max_degenerate_single_value_ranges() {
+    let v = f32_with_specials(-1e6, 1e6, 0.3);
+    let gen = v.zip(&mixq_proptest::bits());
+    Config::new("quant_degenerate")
+        .cases(192)
+        .run(&gen, |&(v, bits)| {
+            let qp = QuantParams::from_min_max(v, v, bits);
+            let ctx = format!("from_min_max({v}, {v}, {bits})");
+            assert_well_formed(&qp, &ctx);
+            if v.is_finite() {
+                // A single-value range still contains 0 by construction, so
+                // the representable span is [min(v,0), max(v,0)]: the value
+                // itself must survive within one step (or clip to the edge
+                // for magnitudes beyond f32 scale resolution).
+                let fake = qp.fake(v);
+                assert!(fake.is_finite(), "{ctx}: fake({v}) = {fake}");
+            }
+        });
+}
+
+/// The documented special values, pairwise, through every menu bit-width —
+/// the exhaustive corner sweep the generators only sample.
+#[test]
+fn from_min_max_exhaustive_special_pairs() {
+    for &lo in F32_SPECIALS.iter() {
+        for &hi in F32_SPECIALS.iter() {
+            for &bits in &[2u8, 4, 8, 16, 32] {
+                let qp = QuantParams::from_min_max(lo, hi, bits);
+                assert_well_formed(&qp, &format!("from_min_max({lo}, {hi}, {bits})"));
+            }
+        }
     }
 }

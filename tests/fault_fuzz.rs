@@ -1,0 +1,215 @@
+//! Generated fault specs through the recovery machinery: NaN-gradient
+//! rollback at random epochs must be bit-identical to a clean run, a worker
+//! panic at a random parallel chunk under a random thread count must retry
+//! to the exact serial result, and a forced accumulator-saturation fallback
+//! must stay within quantization rounding of the integer path on generated
+//! graphs.
+//!
+//! The fault spec, thread pool, and panic hook are process-global: every
+//! test serializes on one mutex, and each generated case installs its spec
+//! through a guard whose `Drop` clears it even when the property panics
+//! (so shrink replays start clean).
+
+use std::sync::{Mutex, MutexGuard};
+
+use mixq::core::{GcnLayerSnapshot, GcnSnapshot, QuantizedGcn};
+use mixq::faultinject;
+use mixq::graph::{citation_like, CitationConfig};
+use mixq::nn::{params_to_string, train_node, GcnNet, NodeBundle, ParamSet, TrainConfig};
+use mixq::sparse::gcn_normalize;
+use mixq::tensor::{Matrix, QuantParams, Rng};
+use mixq_proptest::{graph, usize_in, Config, GraphConfig};
+
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    GLOBAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Installs a fault spec for one generated case; `Drop` clears it so a
+/// failing (panicking) property never leaks its spec into the next case.
+struct SpecGuard;
+
+impl SpecGuard {
+    fn install(spec: &str) -> Self {
+        faultinject::clear();
+        faultinject::set_spec(spec).expect("generated fault spec parses");
+        SpecGuard
+    }
+}
+
+impl Drop for SpecGuard {
+    fn drop(&mut self) {
+        faultinject::clear();
+    }
+}
+
+fn tiny_train(seed: u64, cfg: &TrainConfig) -> (mixq::nn::TrainReport, String) {
+    let ds = citation_like(
+        &CitationConfig {
+            name: "fault-fuzz",
+            nodes: 150,
+            feat_dim: 16,
+            classes: 3,
+            avg_degree: 4.0,
+            homophily: 0.8,
+            degree_alpha: 2.0,
+            topic_size: 6,
+            p_topic: 0.5,
+            p_noise: 0.02,
+            train_per_class: 10,
+            val_size: 30,
+            test_size: 45,
+        },
+        seed,
+    );
+    let bundle = NodeBundle::new(&ds);
+    let dims = [ds.feat_dim(), 8, ds.num_classes()];
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut ps = ParamSet::new();
+    let mut net = GcnNet::new(&mut ps, &dims, 0.5, &mut rng);
+    let rep = train_node(&mut net, &mut ps, &ds, &bundle, cfg);
+    (rep, params_to_string(&ps))
+}
+
+/// NaN gradient at a *generated* epoch: the rollback-and-retry path must
+/// reconverge to the bit-identical parameters of a fault-free run.
+#[test]
+fn fuzz_nan_gradient_recovery_bit_identical_at_generated_epochs() {
+    let _g = lock();
+    let gen = usize_in(1, 3).zip(&usize_in(0, 1000));
+    Config::new("fault_recovery")
+        .cases(6)
+        .run(&gen, |&(epoch, seed)| {
+            let cfg = TrainConfig::builder()
+                .epochs(4)
+                .lr(0.01)
+                .seed(seed as u64)
+                .patience(0)
+                .build()
+                .expect("valid config");
+
+            let spec = format!("grad_nan@epoch={epoch}");
+            let (rep_f, params_f) = {
+                let _s = SpecGuard::install(&spec);
+                tiny_train(seed as u64, &cfg)
+            };
+            let (rep_c, params_c) = tiny_train(seed as u64, &cfg);
+
+            assert_eq!(
+                rep_f.recovered_divergences, 1,
+                "epoch {epoch}: exactly one rollback expected"
+            );
+            assert!(!rep_f.diverged);
+            assert_eq!(rep_c.recovered_divergences, 0);
+            assert_eq!(
+                params_f, params_c,
+                "epoch {epoch}: rollback + retry must be bit-identical to clean run"
+            );
+        });
+}
+
+/// A worker-thread panic at a generated parallel chunk, under a generated
+/// thread count: the runtime's serial retry must reproduce the exact
+/// fault-free product.
+#[test]
+fn fuzz_worker_panic_contained_at_generated_chunks_and_threads() {
+    let _g = lock();
+    let saved = (
+        mixq::parallel::num_threads(),
+        mixq::parallel::parallel_row_threshold(),
+    );
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {})); // silence the injected panic
+
+    let gen = usize_in(1, 4)
+        .zip(&usize_in(2, 6))
+        .zip(&usize_in(0, 1 << 20));
+    Config::new("fault_worker_panic")
+        .cases(24)
+        .run(&gen, |&((chunk, threads), seed)| {
+            mixq::parallel::set_num_threads(threads);
+            mixq::parallel::set_parallel_row_threshold(2);
+            let mut rng = Rng::seed_from_u64(seed as u64);
+            let m = 8 + rng.gen_range(40);
+            let k = 1 + rng.gen_range(16);
+            let n = 1 + rng.gen_range(12);
+            let a = Matrix::from_fn(m, k, |_, _| rng.normal());
+            let b = Matrix::from_fn(k, n, |_, _| rng.normal());
+
+            let faulted = {
+                let _s = SpecGuard::install(&format!("worker_panic@{chunk}"));
+                a.matmul(&b)
+            };
+            let clean = a.matmul(&b);
+            assert_eq!(
+                faulted.data(),
+                clean.data(),
+                "chunk {chunk} @ {threads} threads: serial retry diverged"
+            );
+        });
+
+    std::panic::set_hook(hook);
+    mixq::parallel::set_num_threads(saved.0);
+    mixq::parallel::set_parallel_row_threshold(saved.1);
+}
+
+/// Forced accumulator-saturation fallback on generated graphs: the f32
+/// stand-in layer must stay within a few aggregation LSBs of the integer
+/// path and mark the fault recovered.
+#[test]
+fn fuzz_forced_saturation_fallback_stays_close_on_generated_graphs() {
+    let _g = lock();
+    let cfg = GraphConfig {
+        min_nodes: 2,
+        max_nodes: 24,
+        max_degree: 5,
+        degree_alpha: 2.0,
+        isolated_frac: 0.2,
+        self_loops: true,
+        val_lo: 0.1, // positive weights: a normalized-adjacency-like regime
+        val_hi: 1.0,
+    };
+    let gen = graph(cfg).zip(&usize_in(0, 1 << 20));
+    Config::new("fault_saturation")
+        .cases(12)
+        .run(&gen, |&(ref g, seed)| {
+            let n = g.nodes;
+            let adj = gcn_normalize(&g.to_csr());
+            let mut rng = Rng::seed_from_u64(seed as u64);
+            let x = Matrix::from_fn(n, 4, |_, _| rng.normal() * 0.5);
+            let weight = Matrix::from_fn(4, 3, |_, _| rng.normal() * 0.3);
+            let snap = GcnSnapshot {
+                input_qp: QuantParams::from_min_max(-2.0, 2.0, 8),
+                layers: vec![GcnLayerSnapshot {
+                    weight,
+                    bias: Some(vec![0.1; 3]),
+                    w_qp: QuantParams::symmetric(-1.0, 1.0, 8),
+                    lin_qp: QuantParams::from_min_max(-2.0, 2.0, 8),
+                    agg_qp: QuantParams::from_min_max(-2.0, 2.0, 8),
+                    adj_bits: 8,
+                }],
+            };
+            let agg_scale = snap.layers[0].agg_qp.scale;
+
+            let fallback = {
+                // set_spec resets the injected/recovered counters.
+                let _s = SpecGuard::install("acc_saturate@1");
+                let out = QuantizedGcn::prepare(&snap, &adj).infer(&x);
+                assert_eq!(
+                    faultinject::recovered_count(),
+                    1,
+                    "forcing the fallback must be recorded as a recovery"
+                );
+                out
+            };
+            let integer = QuantizedGcn::prepare(&snap, &adj).infer(&x);
+
+            assert!(fallback.data().iter().all(|v| v.is_finite()));
+            let diff = fallback.max_abs_diff(&integer);
+            assert!(
+                diff <= 3.0 * agg_scale,
+                "nodes={n}: fallback drifted {diff} (scale {agg_scale})"
+            );
+        });
+}

@@ -1,0 +1,288 @@
+//! Pathological-structure and saturation-boundary tests for the integer
+//! executors (`QuantizedGcn` / `QuantizedSage`).
+//!
+//! Covers: all-isolated (zero-nnz) adjacencies, structurally-present but
+//! zero-valued edges, single fully-dense rows (`max_row_nnz == cols`), a
+//! manual integer reference for the GCN layer pipeline, generated
+//! isolation-heavy graphs through both engines, and the `2^62`
+//! accumulator-saturation boundary observed via the
+//! `qinfer.fallback.layers` telemetry counter.
+//!
+//! Telemetry is process-global, so every test serializes on one mutex.
+
+use std::sync::{Mutex, MutexGuard};
+
+use mixq::core::{
+    int_matmul_requant, quantize_csr_symmetric, quantized_spmm, GcnLayerSnapshot, GcnSnapshot,
+    QTensor, QmpParams, QuantizedGcn, QuantizedSage, SageLayerSnapshot, SageSnapshot,
+};
+use mixq::sparse::{CooEntry, CsrMatrix};
+use mixq::telemetry;
+use mixq::tensor::{Matrix, QuantParams, Rng};
+use mixq_proptest::{graph, usize_in, Config, GraphConfig};
+
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    GLOBAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn assert_bits_eq(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+    assert!(
+        a.data()
+            .iter()
+            .zip(b.data())
+            .all(|(x, y)| x.to_bits() == y.to_bits()),
+        "{what}: outputs are not bit-identical"
+    );
+}
+
+/// One-layer GCN snapshot with 8-bit weights/activations.
+fn gcn_1layer(weight: Matrix, adj_bits: u8) -> GcnSnapshot {
+    GcnSnapshot {
+        input_qp: QuantParams::from_min_max(-2.0, 2.0, 8),
+        layers: vec![GcnLayerSnapshot {
+            weight,
+            bias: Some(vec![0.1, -0.2]),
+            w_qp: QuantParams::from_min_max(-1.0, 1.0, 8),
+            lin_qp: QuantParams::from_min_max(-4.0, 4.0, 8),
+            agg_qp: QuantParams::from_min_max(-8.0, 8.0, 8),
+            adj_bits,
+        }],
+    }
+}
+
+/// One-layer GraphSAGE snapshot with 8-bit weights/activations.
+fn sage_1layer(w_root: Matrix, w_neigh: Matrix, adj_bits: u8) -> SageSnapshot {
+    SageSnapshot {
+        input_qp: QuantParams::from_min_max(-2.0, 2.0, 8),
+        layers: vec![SageLayerSnapshot {
+            w_root,
+            bias: Some(vec![0.05, 0.15]),
+            w_neigh,
+            w_root_qp: QuantParams::from_min_max(-1.0, 1.0, 8),
+            w_neigh_qp: QuantParams::from_min_max(-1.0, 1.0, 8),
+            agg_qp: QuantParams::from_min_max(-4.0, 4.0, 8),
+            out_qp: QuantParams::from_min_max(-8.0, 8.0, 8),
+            adj_bits,
+        }],
+    }
+}
+
+fn rand_matrix(rng: &mut Rng, r: usize, c: usize) -> Matrix {
+    Matrix::from_fn(r, c, |_, _| rng.uniform_in(-1.5, 1.5))
+}
+
+/// An all-isolated adjacency and one whose edges exist structurally but
+/// carry value 0 quantize to the same codes, so both executors must be
+/// bit-identical — and the GCN (whose layer ends in the aggregation)
+/// must emit exactly zero logits.
+#[test]
+fn empty_and_zero_valued_adjacencies_are_bit_identical() {
+    let _g = lock();
+    let n = 6;
+    let empty = CsrMatrix::from_coo(n, n, vec![]);
+    let zeroed = CsrMatrix::from_coo(
+        n,
+        n,
+        (0..n)
+            .map(|i| CooEntry {
+                row: i,
+                col: (i + 1) % n,
+                val: 0.0,
+            })
+            .collect(),
+    );
+    assert_eq!(
+        zeroed.nnz(),
+        n,
+        "zero-valued edges must survive structurally"
+    );
+
+    let mut rng = Rng::seed_from_u64(11);
+    let x = rand_matrix(&mut rng, n, 3);
+    let w = rand_matrix(&mut rng, 3, 2);
+
+    let snap = gcn_1layer(w.clone(), 8);
+    let out_empty = QuantizedGcn::prepare(&snap, &empty).infer(&x);
+    let out_zero = QuantizedGcn::prepare(&snap, &zeroed).infer(&x);
+    assert_bits_eq(&out_empty, &out_zero, "GCN empty vs zero-valued adjacency");
+    assert!(
+        out_empty.data().iter().all(|&v| v == 0.0),
+        "GCN over an all-isolated graph must produce exactly-zero logits"
+    );
+
+    let wn = rand_matrix(&mut rng, 3, 2);
+    let ssnap = sage_1layer(w, wn, 8);
+    let s_empty = QuantizedSage::prepare(&ssnap, &empty).infer(&x);
+    let s_zero = QuantizedSage::prepare(&ssnap, &zeroed).infer(&x);
+    assert_bits_eq(&s_empty, &s_zero, "SAGE empty vs zero-valued adjacency");
+    // The root branch still flows: outputs must not collapse to zero.
+    assert!(
+        s_empty.data().iter().any(|&v| v != 0.0),
+        "SAGE root branch must be unaffected by an empty adjacency"
+    );
+}
+
+/// A single fully-dense row (`max_row_nnz == cols`): replicate the GCN
+/// layer by hand from the exported integer primitives and demand the
+/// engine's output match bit-for-bit.
+#[test]
+fn single_dense_row_gcn_matches_manual_integer_reference() {
+    let _g = lock();
+    let n = 5;
+    let entries: Vec<CooEntry> = (0..n)
+        .map(|c| CooEntry {
+            row: 0,
+            col: c,
+            val: 0.3 + 0.1 * c as f32,
+        })
+        .collect();
+    let adj = CsrMatrix::from_coo(n, n, entries);
+
+    let mut rng = Rng::seed_from_u64(23);
+    let x = rand_matrix(&mut rng, n, 3);
+    let w = rand_matrix(&mut rng, 3, 2);
+    let snap = gcn_1layer(w, 8);
+    let l = &snap.layers[0];
+
+    let (qadj, adj_scale) = quantize_csr_symmetric(&adj, l.adj_bits);
+    assert_eq!(qadj.max_row_nnz(), qadj.cols(), "row 0 must be fully dense");
+
+    // Manual pipeline: quantize → integer dense matmul+requant → Theorem 1
+    // sparse aggregation → dequantize. One layer ⇒ no ReLU.
+    let xq = QTensor::quantize(&x, snap.input_qp);
+    let wq = QTensor::quantize(&l.weight, l.w_qp);
+    let h = int_matmul_requant(&xq, &wq, l.bias.as_deref(), l.lin_qp);
+    let p = QmpParams::per_tensor(
+        qadj.rows(),
+        h.cols,
+        adj_scale,
+        0,
+        h.qp.scale,
+        h.qp.zero_point,
+        l.agg_qp.scale,
+        l.agg_qp.zero_point,
+        l.agg_qp.qmin,
+        l.agg_qp.qmax,
+    );
+    let want = QTensor {
+        rows: n,
+        cols: h.cols,
+        data: quantized_spmm(&qadj, &h.data, h.cols, &p),
+        qp: l.agg_qp,
+    }
+    .dequantize();
+
+    let got = QuantizedGcn::prepare(&snap, &adj).infer(&x);
+    assert_bits_eq(&got, &want, "engine vs manual integer reference");
+}
+
+/// Generated isolation-heavy graphs through BOTH executors: outputs stay
+/// finite, and every node with an empty adjacency row yields exactly-zero
+/// GCN logits (the aggregation ends the layer).
+#[test]
+fn fuzz_pathological_graphs_through_both_executors() {
+    let _g = lock();
+    let cfg = GraphConfig {
+        min_nodes: 1,
+        max_nodes: 16,
+        max_degree: 6,
+        degree_alpha: 3.0,
+        isolated_frac: 0.5,
+        self_loops: true,
+        val_lo: -1.0,
+        val_hi: 1.0,
+    };
+    let gen = graph(cfg).zip(&usize_in(0, 1 << 20));
+    Config::new("integer_engine_edge")
+        .cases(48)
+        .run(&gen, |&(ref g, seed)| {
+            let n = g.nodes;
+            let adj = g.to_csr();
+            let mut rng = Rng::seed_from_u64(seed as u64);
+            let x = rand_matrix(&mut rng, n, 3);
+            let w = rand_matrix(&mut rng, 3, 2);
+            let wn = rand_matrix(&mut rng, 3, 2);
+
+            let out = QuantizedGcn::prepare(&gcn_1layer(w.clone(), 4), &adj).infer(&x);
+            assert!(out.data().iter().all(|v| v.is_finite()));
+            let row_ptr = adj.row_ptr();
+            for r in 0..n {
+                if row_ptr[r] == row_ptr[r + 1] {
+                    assert!(
+                        out.row_slice(r).iter().all(|&v| v == 0.0),
+                        "isolated node {r} must aggregate to exactly zero"
+                    );
+                }
+            }
+
+            let s = QuantizedSage::prepare(&sage_1layer(w, wn, 4), &adj).infer(&x);
+            assert!(s.data().iter().all(|v| v.is_finite()));
+        });
+}
+
+/// Builds the boundary configuration: a single dense row of `nnz` entries,
+/// 16-bit adjacency codes and a 32-bit (large zero-point) linear quantizer,
+/// so the static spmm accumulator bound is `nnz · 2^16 · (2^32−1+2^30)` —
+/// crossing `ACC_SAT_LIMIT = 2^62` exactly between 8192 and 16384 nnz.
+fn boundary_snapshot_and_adj(nnz: usize) -> (GcnSnapshot, CsrMatrix, Matrix) {
+    let n = nnz;
+    let entries: Vec<CooEntry> = (0..n)
+        .map(|c| CooEntry {
+            row: 0,
+            col: c,
+            val: 1.0 / n as f32,
+        })
+        .collect();
+    let adj = CsrMatrix::from_coo(n, n, entries);
+    let snap = GcnSnapshot {
+        input_qp: QuantParams::from_min_max(-1.0, 1.0, 8),
+        layers: vec![GcnLayerSnapshot {
+            weight: Matrix::scalar(0.5),
+            bias: None,
+            w_qp: QuantParams::from_min_max(-1.0, 1.0, 8),
+            // Asymmetric 32-bit activations: span ≈ 2^32, |Z| ≈ 2^30.
+            lin_qp: QuantParams::from_min_max(-1.0, 3.0, 32),
+            agg_qp: QuantParams::from_min_max(-8.0, 8.0, 8),
+            adj_bits: 16,
+        }],
+    };
+    let x = Matrix::from_fn(n, 1, |i, _| ((i % 13) as f32 - 6.0) / 7.0);
+    (snap, adj, x)
+}
+
+/// The `2^62` accumulator ceiling: a 16384-nnz dense row with 16-bit
+/// adjacency × 32-bit activations must freeze the layer onto the f32
+/// fallback (observable via `qinfer.fallback.layers`); halving the row to
+/// 8192 nnz stays under the ceiling and keeps the integer kernels.
+#[test]
+fn acc_saturation_boundary_at_2_pow_62() {
+    let _g = lock();
+    telemetry::set_enabled(true);
+
+    let fallback_layers = |nnz: usize| -> u64 {
+        telemetry::reset();
+        let (snap, adj, x) = boundary_snapshot_and_adj(nnz);
+        let engine = QuantizedGcn::prepare(&snap, &adj);
+        let out = engine.infer(&x);
+        assert!(out.data().iter().all(|v| v.is_finite()), "nnz={nnz}");
+        let rep = telemetry::snapshot();
+        rep.counters
+            .iter()
+            .find(|(k, _)| k == "qinfer.fallback.layers")
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
+
+    let over = fallback_layers(16384);
+    let under = fallback_layers(8192);
+    telemetry::set_enabled(false);
+
+    assert_eq!(
+        over, 1,
+        "16384-nnz row must cross the 2^62 bound and fall back"
+    );
+    assert_eq!(under, 0, "8192-nnz row must stay on the integer kernels");
+}

@@ -13,7 +13,7 @@ pub use runner::{
 };
 pub use sweep::{gcn_bit_sweep, pareto_front, SweepPoint};
 pub use table::{bits, frac, gbops, pct, Table};
-pub use timing::{bench, format_ns, median_ns_per_iter};
+pub use timing::{bench, format_ns, median_ns_per_iter, write_json, BenchRecord};
 
 /// Parses `--runs N` and `--quick` style flags shared by all binaries.
 pub struct Args {

@@ -6,6 +6,8 @@
 //! and report the median per-iteration time (the median is robust to the
 //! occasional scheduler hiccup that would skew a mean).
 
+use std::io::Write;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// Batch samples taken per benchmark; the median is reported.
@@ -49,6 +51,107 @@ pub fn bench(name: &str, f: impl FnMut()) -> f64 {
     ns
 }
 
+/// One machine-readable benchmark result, as written by [`write_json`].
+///
+/// `macs` is the multiply-accumulate count of a single iteration, so
+/// [`BenchRecord::macs_per_s`] gives a size-independent throughput that can
+/// be compared across commits and shapes. `speedup` relates this record to
+/// the named `baseline` record in the same report (ratio of baseline
+/// ns/iter to this ns/iter; > 1 means faster than the baseline).
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    pub name: String,
+    pub threads: usize,
+    pub ns_per_iter: f64,
+    pub macs: u64,
+    pub baseline: Option<String>,
+    pub speedup: Option<f64>,
+}
+
+impl BenchRecord {
+    pub fn new(name: &str, threads: usize, ns_per_iter: f64, macs: u64) -> Self {
+        Self {
+            name: name.to_string(),
+            threads,
+            ns_per_iter,
+            macs,
+            baseline: None,
+            speedup: None,
+        }
+    }
+
+    /// Marks `base` as the reference this record is compared to and stores
+    /// the speedup (`base.ns_per_iter / self.ns_per_iter`).
+    pub fn vs(mut self, base: &BenchRecord) -> Self {
+        self.baseline = Some(base.name.clone());
+        self.speedup = Some(base.ns_per_iter / self.ns_per_iter);
+        self
+    }
+
+    /// Multiply-accumulates per second at the measured ns/iter.
+    pub fn macs_per_s(&self) -> f64 {
+        if self.ns_per_iter <= 0.0 {
+            return 0.0;
+        }
+        self.macs as f64 / (self.ns_per_iter * 1e-9)
+    }
+}
+
+/// A JSON number that is always valid JSON (NaN/Inf become 0).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Writes the benchmark trajectory as a small hand-rolled JSON document
+/// (the offline build has no serde): a `records` array plus a flat
+/// `summary` object of named headline ratios. Names are written verbatim —
+/// callers use plain ASCII identifiers.
+pub fn write_json(
+    path: &Path,
+    records: &[BenchRecord],
+    summary: &[(&str, f64)],
+) -> std::io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"mixq.kernel_bench.v1\",\n  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"threads\": {}, \"ns_per_iter\": {}, \"macs\": {}, \"macs_per_s\": {}",
+            r.name,
+            r.threads,
+            json_num(r.ns_per_iter),
+            r.macs,
+            json_num(r.macs_per_s()),
+        ));
+        if let (Some(b), Some(sp)) = (&r.baseline, r.speedup) {
+            s.push_str(&format!(
+                ", \"baseline\": \"{}\", \"speedup\": {}",
+                b,
+                json_num(sp)
+            ));
+        }
+        s.push('}');
+        if i + 1 < records.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ],\n  \"summary\": {\n");
+    for (i, (k, v)) in summary.iter().enumerate() {
+        s.push_str(&format!("    \"{}\": {}", k, json_num(*v)));
+        if i + 1 < summary.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  }\n}\n");
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(s.as_bytes())
+}
+
 /// Human-readable duration from nanoseconds.
 pub fn format_ns(ns: f64) -> String {
     if ns < 1e3 {
@@ -72,6 +175,29 @@ mod tests {
         assert_eq!(format_ns(12_340.0), "12.34 µs");
         assert_eq!(format_ns(12_340_000.0), "12.34 ms");
         assert_eq!(format_ns(2_500_000_000.0), "2.500 s");
+    }
+
+    #[test]
+    fn bench_record_json_round_trips_structure() {
+        let base = BenchRecord::new("naive", 1, 2000.0, 1000);
+        let fast = BenchRecord::new("tiled", 1, 500.0, 1000).vs(&base);
+        assert_eq!(fast.speedup, Some(4.0));
+        assert!((fast.macs_per_s() - 2e9).abs() < 1.0);
+
+        let dir = std::env::temp_dir().join(format!("mixq_bench_json_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        write_json(&path, &[base, fast], &[("tiled_speedup", 4.0)]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(text.contains("\"schema\": \"mixq.kernel_bench.v1\""));
+        assert!(text.contains("\"baseline\": \"naive\", \"speedup\": 4.000"));
+        assert!(text.contains("\"tiled_speedup\": 4.000"));
+        // Hand-rolled JSON must stay structurally balanced.
+        let balance =
+            |open: char, close: char| text.matches(open).count() == text.matches(close).count();
+        assert!(balance('{', '}') && balance('[', ']'));
+        assert_eq!(text.matches('"').count() % 2, 0);
     }
 
     #[test]

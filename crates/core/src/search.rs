@@ -130,6 +130,9 @@ fn train_relaxed(
         let theta_loss = tape.value(loss).item() as f64;
         tape.backward(loss);
         ps.pull_grads(&binding, &tape);
+        // Θ-step gradients are in `ps`; buffers go back to the pool before
+        // the α step builds its own tape.
+        tape.recycle();
         for &id in alpha_ids {
             ps.grad_zero(id);
         }
@@ -181,6 +184,7 @@ fn train_relaxed(
                 let alpha_loss = tape.value(total).item() as f64;
                 tape.backward(total);
                 ps.pull_grads(&binding, &tape);
+                tape.recycle();
                 for id in ps.all_ids() {
                     if !alpha_ids.contains(&id) {
                         ps.grad_zero(id);

@@ -104,7 +104,7 @@ pub fn quantized_matmul_dense(
     // Integer product P = Qa·Qx in i64, partitioned by output row.
     let mut prod = vec![0i64; n * f];
     mixq_parallel::par_row_chunks_mut(&mut prod, n, f, |start, chunk| {
-        for (di, out) in chunk.chunks_mut(f.max(1)).enumerate() {
+        for (di, out) in chunk.chunks_mut(f).enumerate() {
             let i = start + di;
             for k in 0..m {
                 let a = qa[i * m + k] as i64;
@@ -134,7 +134,7 @@ pub fn quantized_matmul_dense(
 
     let mut out = vec![0i32; n * f];
     mixq_parallel::par_row_chunks_mut(&mut out, n, f, |start, chunk| {
-        for (di, orow) in chunk.chunks_mut(f.max(1)).enumerate() {
+        for (di, orow) in chunk.chunks_mut(f).enumerate() {
             let i = start + di;
             for (j, o) in orow.iter_mut().enumerate() {
                 let corrected =
@@ -166,7 +166,7 @@ pub fn quantized_spmm(qa: &QuantCsr, qx: &[i32], f: usize, p: &QmpParams) -> Vec
     // The integer SpMM above is already parallel; the per-element correction
     // is independent per output row, so partition it the same way.
     mixq_parallel::par_row_chunks_mut(&mut out, n, f, |start, chunk| {
-        for (di, orow) in chunk.chunks_mut(f.max(1)).enumerate() {
+        for (di, orow) in chunk.chunks_mut(f).enumerate() {
             let i = start + di;
             for (j, o) in orow.iter_mut().enumerate() {
                 let corrected = prod[i * f + j] - p.zx[j] as i64 * row_sum_a[i];

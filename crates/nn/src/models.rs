@@ -828,7 +828,7 @@ pub fn train_node<M: NodeNet>(
             rng: &mut rng,
             training: true,
         };
-        let x = f.tape.constant(bundle.features.clone());
+        let x = f.tape.constant(bundle.features.clone_pooled());
         let logits = model.forward(&mut f, bundle, x);
         let loss = match &ds.targets {
             NodeTargets::SingleLabel { labels, .. } => {
@@ -841,6 +841,9 @@ pub fn train_node<M: NodeNet>(
         last_loss = tape.value(loss).item() as f64;
         tape.backward(loss);
         ps.pull_grads(&binding, &tape);
+        // Gradients are copied into `ps`; hand every tape buffer back to the
+        // pool so the next epoch's forward pass reuses them.
+        tape.recycle();
 
         let injected =
             mixq_faultinject::should_fire(mixq_faultinject::FaultKind::GradNan, Some(epoch as u64));
@@ -948,12 +951,14 @@ pub fn eval_node<M: NodeNet>(
         rng,
         training: false,
     };
-    let x = f.tape.constant(bundle.features.clone());
+    let x = f.tape.constant(bundle.features.clone_pooled());
     let logits = model.forward(&mut f, bundle, x);
-    match &ds.targets {
+    let metric = match &ds.targets {
         NodeTargets::SingleLabel { labels, .. } => accuracy(tape.value(logits), labels, idx),
         NodeTargets::MultiLabel(t) => roc_auc_mean(tape.value(logits), t, idx),
-    }
+    };
+    tape.recycle();
+    metric
 }
 
 /// Trains a graph-classification network full-batch on `train` and reports
@@ -998,13 +1003,16 @@ pub fn train_graph<M: GraphNet>(
             rng: &mut rng,
             training: true,
         };
-        let x = f.tape.constant(train.features.clone());
+        let x = f.tape.constant(train.features.clone_pooled());
         let logits = model.forward(&mut f, train, x);
         let lp = tape.log_softmax(logits);
         let loss = tape.nll_masked(lp, &rows, &train.labels);
         last_loss = tape.value(loss).item() as f64;
         tape.backward(loss);
         ps.pull_grads(&binding, &tape);
+        // As in `train_node`: gradients are in `ps`, buffers go back to the
+        // pool for the next epoch.
+        tape.recycle();
 
         let injected =
             mixq_faultinject::should_fire(mixq_faultinject::FaultKind::GradNan, Some(epoch as u64));
@@ -1098,10 +1106,12 @@ pub fn eval_graph<M: GraphNet>(
         rng,
         training: false,
     };
-    let x = f.tape.constant(bundle.features.clone());
+    let x = f.tape.constant(bundle.features.clone_pooled());
     let logits = model.forward(&mut f, bundle, x);
     let idx: Vec<usize> = (0..bundle.num_graphs()).collect();
-    accuracy(tape.value(logits), &bundle.labels, &idx)
+    let metric = accuracy(tape.value(logits), &bundle.labels, &idx);
+    tape.recycle();
+    metric
 }
 
 #[cfg(test)]

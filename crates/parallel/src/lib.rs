@@ -108,6 +108,41 @@ fn range_bounds(rows: usize, pieces: usize) -> Vec<usize> {
     (0..=pieces).map(|i| rows * i / pieces).collect()
 }
 
+/// Partitions the rows described by a CSR-style prefix-sum array into
+/// `pieces` contiguous ranges of approximately equal *weight* (non-zeros),
+/// returning the row boundaries (length `pieces + 1`, `bounds[0] == 0`,
+/// `bounds[pieces] == rows`, non-decreasing).
+///
+/// `row_ptr` must have `rows + 1` monotone entries (a CSR `row_ptr` works
+/// verbatim). Boundary `i` is the first row whose prefix weight reaches
+/// `i/pieces` of the total, so every chunk carries at most
+/// `ceil(total/pieces) + max_row_weight` non-zeros — a hub row can only
+/// overshoot its chunk by itself, never serialize unrelated rows behind it.
+/// An all-zero matrix degrades to the equal-row split.
+pub fn nnz_balanced_bounds(row_ptr: &[usize], pieces: usize) -> Vec<usize> {
+    assert!(
+        !row_ptr.is_empty(),
+        "nnz_balanced_bounds: row_ptr must hold rows+1 prefix sums"
+    );
+    assert!(pieces >= 1, "nnz_balanced_bounds: pieces must be >= 1");
+    let rows = row_ptr.len() - 1;
+    let base = row_ptr[0];
+    let total = row_ptr[rows] - base;
+    if total == 0 {
+        return range_bounds(rows, pieces);
+    }
+    let mut bounds = Vec::with_capacity(pieces + 1);
+    bounds.push(0usize);
+    for i in 1..pieces {
+        // u128 sidesteps overflow of total × i on huge graphs.
+        let target = base + ((total as u128 * i as u128) / pieces as u128) as usize;
+        let b = row_ptr.partition_point(|&v| v < target);
+        bounds.push(b.max(*bounds.last().unwrap()).min(rows));
+    }
+    bounds.push(rows);
+    bounds
+}
+
 /// `true` iff a caught panic payload came from [`mixq_faultinject`] (its
 /// injected panics embed [`mixq_faultinject::PANIC_MARKER`] in the message).
 fn payload_is_injected(payload: &(dyn std::any::Any + Send)) -> bool {
@@ -143,15 +178,88 @@ pub fn par_row_chunks_mut<T: Send + Copy + Default>(
         rows * width,
         "output buffer must be rows × width"
     );
-    let telemetry = mixq_telemetry::enabled();
-    let t = num_threads().min(rows.max(1));
+    // Zero rows or zero width means zero output elements: nothing to
+    // compute, and skipping `f` here lets callers use `chunks_mut(width)`
+    // without a per-caller `.max(1)` guard against zero-width rows.
+    if out.is_empty() {
+        return;
+    }
+    let t = num_threads().min(rows);
     if t <= 1 || rows < parallel_row_threshold().max(2) {
-        if telemetry {
+        if mixq_telemetry::enabled() {
             mixq_telemetry::counter_add("parallel.serial_calls", 1);
         }
         f(0, out);
         return;
     }
+    run_bounded(out, width, range_bounds(rows, t), f);
+}
+
+/// Like [`par_row_chunks_mut`] but splits rows at **nnz-balanced**
+/// boundaries derived from `row_ptr` (a `rows + 1` prefix-sum array, e.g. a
+/// CSR `row_ptr`) instead of equal row counts. Power-law graphs concentrate
+/// most non-zeros in a few hub rows; an equal-row split hands one thread all
+/// the hubs and serializes the kernel on that chunk, while this split keeps
+/// per-chunk work within one row's weight of even (see
+/// [`nnz_balanced_bounds`]).
+///
+/// Chunks are still disjoint contiguous row ranges and per-row work runs in
+/// serial order, so results remain bit-identical to the serial kernel and to
+/// the equal-row schedule at any thread count.
+pub fn par_row_chunks_mut_balanced<T: Send + Copy + Default>(
+    out: &mut [T],
+    rows: usize,
+    width: usize,
+    row_ptr: &[usize],
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    assert_eq!(
+        out.len(),
+        rows * width,
+        "output buffer must be rows × width"
+    );
+    assert_eq!(
+        row_ptr.len(),
+        rows + 1,
+        "row_ptr must be a rows+1 prefix-sum array"
+    );
+    if out.is_empty() {
+        return;
+    }
+    let t = num_threads().min(rows);
+    if t <= 1 || rows < parallel_row_threshold().max(2) {
+        if mixq_telemetry::enabled() {
+            mixq_telemetry::counter_add("parallel.serial_calls", 1);
+        }
+        f(0, out);
+        return;
+    }
+    if mixq_telemetry::enabled() {
+        mixq_telemetry::counter_add("parallel.balanced_calls", 1);
+    }
+    let mut bounds = nnz_balanced_bounds(row_ptr, t);
+    // A dominant hub row can swallow several targets, leaving empty ranges;
+    // collapse them rather than spawning idle workers.
+    bounds.dedup();
+    if bounds.len() <= 2 {
+        // One chunk carries everything: parallelism cannot help this shape.
+        f(0, out);
+        return;
+    }
+    run_bounded(out, width, bounds, f);
+}
+
+/// Shared parallel core: runs `f` over the row ranges given by `bounds`
+/// (monotone, `bounds[0] == 0`, last entry = row count), one scoped thread
+/// per range, with panic containment and utilization telemetry.
+fn run_bounded<T: Send + Copy + Default>(
+    out: &mut [T],
+    width: usize,
+    bounds: Vec<usize>,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    let telemetry = mixq_telemetry::enabled();
+    let t = bounds.len() - 1;
     if telemetry {
         mixq_telemetry::counter_add("parallel.par_calls", 1);
         mixq_telemetry::counter_add("parallel.threads_used", t as u64);
@@ -187,7 +295,7 @@ pub fn par_row_chunks_mut<T: Send + Copy + Default>(
         }
     };
     let wall = std::time::Instant::now();
-    let bounds = range_bounds(rows, t);
+    let rows = bounds[t];
     std::thread::scope(|s| {
         let mut rest = &mut *out;
         // Spawn the first t−1 ranges and run the last one on this thread;
@@ -282,6 +390,32 @@ mod tests {
         assert_eq!(range_bounds(3, 8), vec![0, 0, 0, 1, 1, 1, 2, 2, 3]);
     }
 
+    #[test]
+    fn nnz_bounds_isolate_hub_rows() {
+        // Row 0 is a hub with 100 nnz; rows 1..=4 hold 1 nnz each. An
+        // equal-row split at 2 pieces would put the hub plus a light row in
+        // one chunk; the balanced split cuts right after the hub.
+        let row_ptr = vec![0, 100, 101, 102, 103, 104];
+        assert_eq!(nnz_balanced_bounds(&row_ptr, 2), vec![0, 1, 5]);
+        // Every chunk carries ≤ ceil(total/pieces) + max_row nnz.
+        for pieces in 1..=8 {
+            let b = nnz_balanced_bounds(&row_ptr, pieces);
+            assert_eq!(b.len(), pieces + 1);
+            assert_eq!((b[0], b[pieces]), (0, 5));
+            let limit = 104usize.div_ceil(pieces) + 100;
+            for w in b.windows(2) {
+                assert!(w[0] <= w[1], "bounds must be monotone");
+                assert!(row_ptr[w[1]] - row_ptr[w[0]] <= limit);
+            }
+        }
+        // All-empty rows degrade to the equal-row split; a single piece
+        // spans everything.
+        assert_eq!(nnz_balanced_bounds(&[0, 0, 0, 0], 2), vec![0, 1, 3]);
+        assert_eq!(nnz_balanced_bounds(&[0, 3, 7], 1), vec![0, 2]);
+        // rows == 0 (row_ptr of length 1) is well-defined.
+        assert_eq!(nnz_balanced_bounds(&[0], 3), vec![0, 0, 0, 0]);
+    }
+
     /// Thread-count / threshold knobs are process-wide, so everything that
     /// mutates them lives in one test to avoid cross-test races.
     #[test]
@@ -371,13 +505,46 @@ mod tests {
         assert!(result.is_err(), "deterministic panic must propagate");
         std::panic::set_hook(hook);
 
-        // Empty and degenerate shapes stay well-defined.
+        // Empty and degenerate shapes stay well-defined, and the zero-width
+        // guard is centralized here: `f` is never invoked with an empty
+        // output, so callers may call `chunks_mut(width)` unconditionally.
         let mut empty: Vec<f32> = Vec::new();
         par_row_chunks_mut(&mut empty, 0, 4, |_, _| {});
+        par_row_chunks_mut(&mut empty, 4, 0, |_, _| panic!("width 0 must skip f"));
+        par_row_chunks_mut_balanced(&mut empty, 4, 0, &[0, 1, 2, 3, 4], |_, _| {
+            panic!("width 0 must skip f")
+        });
         let mut one = vec![1.0f32; 5];
         par_row_chunks_mut(&mut one, 1, 5, |start, chunk| {
             assert_eq!((start, chunk.len()), (0, 5));
         });
+
+        // The nnz-balanced runner visits every row exactly once with the
+        // right start offsets, for skewed and uniform weights alike.
+        set_num_threads(4);
+        set_parallel_row_threshold(0);
+        let rows = 13;
+        let mut row_ptr = vec![0usize];
+        for r in 0..rows {
+            let w = if r == 2 { 500 } else { r % 3 };
+            row_ptr.push(row_ptr[r] + w);
+        }
+        for threads in [1usize, 2, 4, 8] {
+            set_num_threads(threads);
+            let width = 3;
+            let mut out = vec![0u32; rows * width];
+            par_row_chunks_mut_balanced(&mut out, rows, width, &row_ptr, |start, chunk| {
+                for (i, row) in chunk.chunks_mut(width).enumerate() {
+                    for v in row.iter_mut() {
+                        *v += (start + i) as u32 + 1;
+                    }
+                }
+            });
+            let want: Vec<u32> = (0..rows)
+                .flat_map(|r| std::iter::repeat_n(r as u32 + 1, width))
+                .collect();
+            assert_eq!(out, want, "balanced threads={threads}");
+        }
 
         // Telemetry (also process-wide, so it lives in this same test):
         // a parallel call records busy/ideal time, a serial call does not.

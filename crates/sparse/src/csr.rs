@@ -5,7 +5,7 @@
 //! per-row accumulation order is unchanged, so results are bit-identical to
 //! the serial kernel at any thread count.
 
-use mixq_parallel::par_row_chunks_mut;
+use mixq_parallel::{par_row_chunks_mut, par_row_chunks_mut_balanced};
 
 /// One coordinate-format entry `(row, col, value)` used to build a CSR matrix.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -286,27 +286,52 @@ impl CsrMatrix {
     }
 
     /// Like [`CsrMatrix::spmm`] but writes into a caller-provided buffer.
-    /// Output rows are partitioned across threads (disjoint `y` slices,
-    /// serial per-row accumulation order ⇒ bit-identical to serial).
+    /// Output rows are partitioned across threads at **nnz-balanced**
+    /// boundaries (disjoint `y` slices, serial per-row accumulation order ⇒
+    /// bit-identical to serial and to any other row partition). Power-law
+    /// graphs pack most edges into a few hub rows, so equal-row chunks leave
+    /// one thread doing nearly all the work; balancing on `row_ptr` keeps
+    /// per-chunk nnz within one row's weight of even.
     pub fn spmm_into(&self, x: &[f32], x_cols: usize, y: &mut [f32]) {
         assert_eq!(x.len(), self.cols * x_cols);
         assert_eq!(y.len(), self.rows * x_cols);
         let t0 = mixq_telemetry::kernel_start();
-        par_row_chunks_mut(y, self.rows, x_cols, |start, chunk| {
-            for (dr, out) in chunk.chunks_mut(x_cols.max(1)).enumerate() {
-                let r = start + dr;
-                out.fill(0.0);
-                for i in self.row_ptr[r]..self.row_ptr[r + 1] {
-                    let c = self.col_idx[i];
-                    let v = self.values[i];
-                    let xr = &x[c * x_cols..(c + 1) * x_cols];
-                    for (o, &xv) in out.iter_mut().zip(xr.iter()) {
-                        *o += v * xv;
-                    }
-                }
-            }
+        par_row_chunks_mut_balanced(y, self.rows, x_cols, &self.row_ptr, |start, chunk| {
+            self.spmm_rows(x, x_cols, start, chunk);
         });
         mixq_telemetry::kernel_finish("sparse.spmm_f32", t0, (self.nnz() * x_cols) as u64);
+    }
+
+    /// [`CsrMatrix::spmm_into`] under the legacy equal-row-count schedule.
+    /// Kept public for benchmarks and the partition-law property suite,
+    /// which assert the balanced schedule is bit-identical (and faster on
+    /// degree-skewed graphs); not intended for production call sites.
+    pub fn spmm_into_row_chunked(&self, x: &[f32], x_cols: usize, y: &mut [f32]) {
+        assert_eq!(x.len(), self.cols * x_cols);
+        assert_eq!(y.len(), self.rows * x_cols);
+        let t0 = mixq_telemetry::kernel_start();
+        par_row_chunks_mut(y, self.rows, x_cols, |start, chunk| {
+            self.spmm_rows(x, x_cols, start, chunk);
+        });
+        mixq_telemetry::kernel_finish("sparse.spmm_f32", t0, (self.nnz() * x_cols) as u64);
+    }
+
+    /// Serial SpMM body over the output rows starting at `start`; shared by
+    /// both schedules so their per-row accumulation order is identical by
+    /// construction.
+    fn spmm_rows(&self, x: &[f32], x_cols: usize, start: usize, chunk: &mut [f32]) {
+        for (dr, out) in chunk.chunks_mut(x_cols).enumerate() {
+            let r = start + dr;
+            out.fill(0.0);
+            for i in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[i];
+                let v = self.values[i];
+                let xr = &x[c * x_cols..(c + 1) * x_cols];
+                for (o, &xv) in out.iter_mut().zip(xr.iter()) {
+                    *o += v * xv;
+                }
+            }
+        }
     }
 
     /// Dense copy of the matrix (row-major), for tests and small examples.

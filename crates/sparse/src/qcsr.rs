@@ -97,10 +97,19 @@ impl QuantCsr {
     }
 }
 
-/// Integer sparse × dense product `Y = Q_a(A) · Q_x(X)` with `i64`
-/// accumulation. `x` is row-major with `x_cols` columns. Output rows are
-/// partitioned across the `mixq-parallel` runtime; integer accumulation is
-/// associative, so the result is exact at any thread count.
+/// Integer sparse × dense product `Y = Q_a(A) · Q_x(X)`. `x` is row-major
+/// with `x_cols` columns. Output rows are partitioned across the
+/// `mixq-parallel` runtime at nnz-balanced boundaries; integer accumulation
+/// is associative, so the result is exact at any thread count and under any
+/// row partition.
+///
+/// When the static per-row bound `max_row_nnz × max|a| × max|x|` fits in
+/// `i32` — which every prefix of every row's accumulation then also
+/// satisfies — the kernel accumulates in `i32` (half the store traffic,
+/// twice the SIMD lanes) and widens once at the end; otherwise it falls back
+/// to the `i64` path. Both paths are exact, so the dispatch is invisible
+/// numerically; the telemetry counters `qcsr.spmm.i32_path` /
+/// `qcsr.spmm.i64_path` record which one ran.
 pub fn spmm_int(a: &QuantCsr, x: &[i32], x_cols: usize) -> Vec<i64> {
     assert_eq!(
         x.len(),
@@ -109,21 +118,71 @@ pub fn spmm_int(a: &QuantCsr, x: &[i32], x_cols: usize) -> Vec<i64> {
     );
     let t0 = mixq_telemetry::kernel_start();
     let mut y = vec![0i64; a.rows * x_cols];
-    mixq_parallel::par_row_chunks_mut(&mut y, a.rows, x_cols, |start, chunk| {
-        for (dr, out) in chunk.chunks_mut(x_cols.max(1)).enumerate() {
-            let r = start + dr;
-            for i in a.row_ptr[r]..a.row_ptr[r + 1] {
-                let c = a.col_idx[i];
-                let v = a.values[i] as i64;
-                let xr = &x[c * x_cols..(c + 1) * x_cols];
-                for (o, &xv) in out.iter_mut().zip(xr.iter()) {
-                    *o += v * xv as i64;
+    if spmm_fits_i32(a, x) {
+        mixq_telemetry::counter_add("qcsr.spmm.i32_path", 1);
+        let mut narrow = vec![0i32; a.rows * x_cols];
+        mixq_parallel::par_row_chunks_mut_balanced(
+            &mut narrow,
+            a.rows,
+            x_cols,
+            &a.row_ptr,
+            |start, chunk| {
+                for (dr, out) in chunk.chunks_mut(x_cols).enumerate() {
+                    let r = start + dr;
+                    for i in a.row_ptr[r]..a.row_ptr[r + 1] {
+                        let c = a.col_idx[i];
+                        let v = a.values[i];
+                        let xr = &x[c * x_cols..(c + 1) * x_cols];
+                        for (o, &xv) in out.iter_mut().zip(xr.iter()) {
+                            *o += v * xv;
+                        }
+                    }
                 }
-            }
-        }
-    });
+            },
+        );
+        mixq_parallel::par_map_slice(&narrow, &mut y, |v| v as i64);
+    } else {
+        mixq_telemetry::counter_add("qcsr.spmm.i64_path", 1);
+        mixq_parallel::par_row_chunks_mut_balanced(
+            &mut y,
+            a.rows,
+            x_cols,
+            &a.row_ptr,
+            |start, chunk| {
+                for (dr, out) in chunk.chunks_mut(x_cols).enumerate() {
+                    let r = start + dr;
+                    for i in a.row_ptr[r]..a.row_ptr[r + 1] {
+                        let c = a.col_idx[i];
+                        let v = a.values[i] as i64;
+                        let xr = &x[c * x_cols..(c + 1) * x_cols];
+                        for (o, &xv) in out.iter_mut().zip(xr.iter()) {
+                            *o += v * xv as i64;
+                        }
+                    }
+                }
+            },
+        );
+    }
     mixq_telemetry::kernel_finish("sparse.spmm_int", t0, (a.nnz() * x_cols) as u64);
     y
+}
+
+/// `true` iff every intermediate of every row accumulation provably fits in
+/// `i32`: each of the ≤ `max_row_nnz` terms is bounded by `max|a|·max|x|`,
+/// so every prefix sum is bounded by their product (computed in `i128`, so
+/// the check itself cannot overflow). This is the same a-priori analysis the
+/// inference engine runs against the 2^62 `i64` limit in `qinfer.rs`, here
+/// applied at the `i32` boundary.
+fn spmm_fits_i32(a: &QuantCsr, x: &[i32]) -> bool {
+    let amax = a
+        .values
+        .iter()
+        .map(|&v| (v as i64).abs())
+        .max()
+        .unwrap_or(0);
+    let xmax = x.iter().map(|&v| (v as i64).abs()).max().unwrap_or(0);
+    let bound = a.max_row_nnz() as i128 * amax as i128 * xmax as i128;
+    bound <= i32::MAX as i128
 }
 
 #[cfg(test)]
@@ -179,6 +238,46 @@ mod tests {
         let q = QuantCsr::from_csr(&sample(), 4, |_, _, v| v as i32);
         assert_eq!(q.row_sums_i64(), vec![-1, 3]);
         assert_eq!(q.max_row_nnz(), 2);
+    }
+
+    #[test]
+    fn i32_fast_path_boundary_is_exact() {
+        // One row of `nnz` entries, all equal to `v`, against an all-`xv`
+        // dense operand: the static bound is exactly nnz·|v|·|xv|. Probe the
+        // i32 ceiling from both sides; results must be exact either way.
+        let build = |nnz: usize, v: f32| {
+            let entries: Vec<CooEntry> = (0..nnz)
+                .map(|c| CooEntry {
+                    row: 0,
+                    col: c,
+                    val: v,
+                })
+                .collect();
+            let a = CsrMatrix::from_coo(1, nnz, entries);
+            QuantCsr::from_csr(&a, 16, |_, _, v| v as i32)
+        };
+        // 2 · 32767 · 32767 = 2147352578 ≤ i32::MAX → narrow path.
+        let q = build(2, 32767.0);
+        assert!(spmm_fits_i32(&q, &[32767, 32767]));
+        assert_eq!(spmm_int(&q, &[32767, 32767], 1), vec![2 * 32767 * 32767]);
+        // 3 terms overflow i32 (3221028867 > i32::MAX) → wide path, exact.
+        let q = build(3, 32767.0);
+        assert!(!spmm_fits_i32(&q, &[32767, 32767, 32767]));
+        assert_eq!(
+            spmm_int(&q, &[32767, 32767, 32767], 1),
+            vec![3 * 32767 * 32767]
+        );
+        // Negative extremes count by magnitude: i32::MIN valued entries must
+        // not trick the |·| analysis into the narrow path.
+        let entries = vec![CooEntry {
+            row: 0,
+            col: 0,
+            val: 0.0,
+        }];
+        let a = CsrMatrix::from_coo(1, 1, entries);
+        let q = QuantCsr::from_csr(&a, 32, |_, _, _| i32::MIN);
+        assert!(!spmm_fits_i32(&q, &[2]));
+        assert_eq!(spmm_int(&q, &[2], 1), vec![2 * i32::MIN as i64]);
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Property tests of the nnz-balanced partitioner and the balanced SpMM
+//! schedule on degree-skewed graphs: the boundary array must be a monotone
+//! cover of the row range with provably bounded chunk weight, and the
+//! balanced schedule must stay bit-identical to both the serial kernel and
+//! the legacy equal-row schedule at every thread count.
+//!
+//! Everything lives in one `#[test]` because the thread count and the
+//! serial-fallback threshold are process-wide knobs; separate tests would
+//! race on them.
+
+use mixq_parallel::{nnz_balanced_bounds, set_num_threads, set_parallel_row_threshold};
+use mixq_proptest::{f32_in, graph, usize_in, Config, Gen, GraphConfig, RandomGraph};
+
+#[derive(Clone, Debug)]
+struct PartitionCase {
+    g: RandomGraph,
+    pieces: usize,
+    f: usize,
+    x: Vec<f32>,
+}
+
+/// Hub-skewed graphs (the Degree-Quant failure regime) with isolated
+/// nodes, plus a piece count that can exceed the row count and a feature
+/// width that includes zero.
+fn partition_case() -> Gen<PartitionCase> {
+    let cfg = GraphConfig {
+        min_nodes: 1,
+        max_nodes: 40,
+        max_degree: 12,
+        degree_alpha: 3.0,
+        isolated_frac: 0.4,
+        self_loops: true,
+        val_lo: -2.0,
+        val_hi: 2.0,
+    };
+    graph(cfg)
+        .zip(&usize_in(1, 9))
+        .zip(&usize_in(0, 4))
+        .bind(|&((ref g, pieces), f)| {
+            let n = g.nodes;
+            let g = g.clone();
+            f32_in(-4.0, 4.0)
+                .vec_of(n * f, n * f)
+                .map(move |x| PartitionCase {
+                    g: g.clone(),
+                    pieces,
+                    f,
+                    x: x.clone(),
+                })
+        })
+}
+
+#[test]
+fn fuzz_partitioner_laws_and_balanced_schedule_identity() {
+    // Tiny generated graphs must still exercise the threaded paths.
+    set_parallel_row_threshold(0);
+
+    Config::new("partition_fuzz")
+        .cases(128)
+        .run(&partition_case(), |c| {
+            let csr = c.g.to_csr();
+            let rp = csr.row_ptr();
+            let rows = csr.rows();
+            let total = csr.nnz();
+            let max_row = c.g.max_row_nnz();
+            let ctx = format!(
+                "nodes={} nnz={} max_row={} pieces={} f={}",
+                rows, total, max_row, c.pieces, c.f
+            );
+
+            // Law 1: `pieces + 1` monotone bounds covering exactly 0..rows.
+            let bounds = nnz_balanced_bounds(rp, c.pieces);
+            assert_eq!(bounds.len(), c.pieces + 1, "{ctx}: bounds {bounds:?}");
+            assert_eq!(bounds[0], 0, "{ctx}: bounds {bounds:?}");
+            assert_eq!(*bounds.last().unwrap(), rows, "{ctx}: bounds {bounds:?}");
+            assert!(
+                bounds.windows(2).all(|w| w[0] <= w[1]),
+                "{ctx}: bounds not monotone: {bounds:?}"
+            );
+
+            // Law 2: no chunk outweighs the ideal share by more than one
+            // row (a hub can overshoot its own chunk but never drag
+            // unrelated rows behind it), and never exceeds the serial
+            // total.
+            if total > 0 {
+                let limit = (total.div_ceil(c.pieces) + max_row).min(total);
+                for w in bounds.windows(2) {
+                    let chunk = rp[w[1]] - rp[w[0]];
+                    assert!(
+                        chunk <= limit,
+                        "{ctx}: chunk rows {}..{} holds {chunk} nnz > limit {limit}",
+                        w[0],
+                        w[1]
+                    );
+                }
+            }
+
+            // Law 3: the balanced schedule and the legacy equal-row
+            // schedule both reproduce the serial kernel bit-for-bit at
+            // every thread count (disjoint row ranges + serial per-row
+            // accumulation order).
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+            set_num_threads(1);
+            let mut y_serial = vec![0.0f32; rows * c.f];
+            csr.spmm_into(&c.x, c.f, &mut y_serial);
+            for t in [2usize, 3, 8] {
+                set_num_threads(t);
+                let mut y_bal = vec![0.0f32; rows * c.f];
+                csr.spmm_into(&c.x, c.f, &mut y_bal);
+                let mut y_rows = vec![0.0f32; rows * c.f];
+                csr.spmm_into_row_chunked(&c.x, c.f, &mut y_rows);
+                assert_eq!(
+                    bits(&y_serial),
+                    bits(&y_bal),
+                    "{ctx}: balanced schedule diverged at {t} threads"
+                );
+                assert_eq!(
+                    bits(&y_serial),
+                    bits(&y_rows),
+                    "{ctx}: row-chunked schedule diverged at {t} threads"
+                );
+            }
+            set_num_threads(1);
+        });
+}

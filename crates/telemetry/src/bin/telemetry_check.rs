@@ -9,7 +9,10 @@
 //! `--expect <section>.<name>` additionally requires a named metric to be
 //! present (section is one of counters/gauges/histograms/series/spans);
 //! `--expect-eq <section>.<name>=<value>` also checks its numeric value
-//! (used by the fault-injection CI step to pin exact counter totals).
+//! (used by the fault-injection CI step to pin exact counter totals);
+//! `--expect-gt <section>.<name>=<value>` requires the value to be strictly
+//! greater (used for counters whose exact total is workload-dependent but
+//! whose presence proves a code path ran, e.g. buffer-pool hits).
 
 use mixq_telemetry::json;
 
@@ -18,6 +21,7 @@ fn main() {
     let mut paths = Vec::new();
     let mut expectations = Vec::new();
     let mut equalities = Vec::new();
+    let mut lower_bounds = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--expect" {
@@ -36,6 +40,17 @@ fn main() {
                 fail(&format!("bad --expect-eq '{e}': value is not a number"));
             };
             equalities.push((metric.to_string(), value));
+        } else if a == "--expect-gt" {
+            let Some(e) = it.next() else {
+                fail("--expect-gt needs an argument");
+            };
+            let Some((metric, value)) = e.split_once('=') else {
+                fail(&format!("bad --expect-gt '{e}': want section.name=value"));
+            };
+            let Ok(value) = value.parse::<f64>() else {
+                fail(&format!("bad --expect-gt '{e}': value is not a number"));
+            };
+            lower_bounds.push((metric.to_string(), value));
         } else {
             paths.push(a.clone());
         }
@@ -43,7 +58,7 @@ fn main() {
     if paths.is_empty() {
         fail(
             "usage: telemetry_check <report.json>… [--expect section.name]… \
-             [--expect-eq section.name=value]…",
+             [--expect-eq section.name=value]… [--expect-gt section.name=value]…",
         );
     }
 
@@ -83,6 +98,22 @@ fn main() {
             match got {
                 Some(v) if v == *want => {}
                 Some(v) => fail(&format!("{path}: {metric} = {v}, expected {want}")),
+                None => fail(&format!(
+                    "{path}: expected numeric {section} metric '{name}'"
+                )),
+            }
+        }
+        for (metric, floor) in &lower_bounds {
+            let Some((section, name)) = metric.split_once('.') else {
+                fail(&format!("bad --expect-gt '{metric}': want section.name"));
+            };
+            let got = doc
+                .get(section)
+                .and_then(|s| s.get(name))
+                .and_then(json::Json::as_f64);
+            match got {
+                Some(v) if v > *floor => {}
+                Some(v) => fail(&format!("{path}: {metric} = {v}, expected > {floor}")),
                 None => fail(&format!(
                     "{path}: expected numeric {section} metric '{name}'"
                 )),

@@ -26,6 +26,7 @@
 mod error;
 mod gradcheck;
 mod matrix;
+pub mod pool;
 mod quant;
 mod rng;
 mod tape;

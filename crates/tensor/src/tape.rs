@@ -553,8 +553,8 @@ impl Tape {
             s
         };
         let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + eps).sqrt()).collect();
-        let mut xhat = Matrix::zeros(n, c);
-        let mut y = Matrix::zeros(n, c);
+        let mut xhat = Matrix::zeros_pooled(n, c);
+        let mut y = Matrix::zeros_pooled(n, c);
         for r in 0..n {
             for j in 0..c {
                 let h = (xm.get(r, j) - mean[j]) * inv_std[j];
@@ -637,7 +637,7 @@ impl Tape {
         let dv = self.values[dst.0].data();
 
         let mut alphas = vec![0f32; adj.nnz()];
-        let mut y = Matrix::zeros(n, fdim);
+        let mut y = Matrix::zeros_pooled(n, fdim);
         let row_ptr = adj.row_ptr();
         for i in 0..n {
             let (b, e) = (row_ptr[i], row_ptr[i + 1]);
@@ -702,7 +702,7 @@ impl Tape {
 
         let row_ptr = adj.row_ptr();
         let mut alphas = vec![0f32; adj.nnz()];
-        let mut y = Matrix::zeros(n, d);
+        let mut y = Matrix::zeros_pooled(n, d);
         for i in 0..n {
             let (b, e) = (row_ptr[i], row_ptr[i + 1]);
             if b == e {
@@ -841,7 +841,7 @@ impl Tape {
         let w = softmax_slice(am.data());
         let xm = &self.values[x.0];
         let quants: Vec<Matrix> = qps.iter().map(|qp| xm.par_map(|e| qp.fake(e))).collect();
-        let mut y = Matrix::zeros(xm.rows(), xm.cols());
+        let mut y = Matrix::zeros_pooled(xm.rows(), xm.cols());
         for (wi, q) in w.iter().zip(quants.iter()) {
             for (o, &qv) in y.data_mut().iter_mut().zip(q.data()) {
                 *o += wi * qv;
@@ -1058,7 +1058,7 @@ impl Tape {
                     if self.req(*logp) {
                         let go = g.item() / rows.len() as f32;
                         let lm = &self.values[logp.0];
-                        let mut gx = Matrix::zeros(lm.rows(), lm.cols());
+                        let mut gx = Matrix::zeros_pooled(lm.rows(), lm.cols());
                         for (&r, &t) in rows.iter().zip(targets.iter()) {
                             let cur = gx.get(r as usize, t as usize);
                             gx.set(r as usize, t as usize, cur - go);
@@ -1075,7 +1075,7 @@ impl Tape {
                         let lm = &self.values[logits.0];
                         let cols = lm.cols();
                         let go = g.item() / (rows.len() * cols) as f32;
-                        let mut gx = Matrix::zeros(lm.rows(), cols);
+                        let mut gx = Matrix::zeros_pooled(lm.rows(), cols);
                         for &r in rows.iter() {
                             let r = r as usize;
                             for c in 0..cols {
@@ -1114,7 +1114,7 @@ impl Tape {
                     }
                     if self.req(*x) {
                         let gm = &self.values[gamma.0];
-                        let mut gx = Matrix::zeros(n, c);
+                        let mut gx = Matrix::zeros_pooled(n, c);
                         for r in 0..n {
                             for j in 0..c {
                                 let dy = g.get(r, j);
@@ -1130,7 +1130,7 @@ impl Tape {
                     if self.req(*x) {
                         let xm = &self.values[x.0];
                         let c = xm.cols();
-                        let mut gx = Matrix::zeros(xm.rows(), c);
+                        let mut gx = Matrix::zeros_pooled(xm.rows(), c);
                         for gi in 0..g.rows() {
                             for j in 0..c {
                                 let r = argmax[gi * c + j] as usize;
@@ -1154,9 +1154,9 @@ impl Tape {
                     let sv = self.values[src.0].data();
                     let dv = self.values[dst.0].data();
                     let row_ptr = adj.row_ptr();
-                    let mut gh = Matrix::zeros(n, fdim);
-                    let mut gs = Matrix::zeros(n, 1);
-                    let mut gd = Matrix::zeros(n, 1);
+                    let mut gh = Matrix::zeros_pooled(n, fdim);
+                    let mut gs = Matrix::zeros_pooled(n, 1);
+                    let mut gd = Matrix::zeros_pooled(n, 1);
                     for i in 0..n {
                         let (b, e) = (row_ptr[i], row_ptr[i + 1]);
                         if b == e {
@@ -1214,9 +1214,9 @@ impl Tape {
                     let km = &self.values[k.0];
                     let vm = &self.values[v.0];
                     let row_ptr = adj.row_ptr();
-                    let mut gq = Matrix::zeros(n, d);
-                    let mut gk = Matrix::zeros(n, d);
-                    let mut gv = Matrix::zeros(n, d);
+                    let mut gq = Matrix::zeros_pooled(n, d);
+                    let mut gk = Matrix::zeros_pooled(n, d);
+                    let mut gv = Matrix::zeros_pooled(n, d);
                     for i in 0..n {
                         let (b, e) = (row_ptr[i], row_ptr[i + 1]);
                         if b == e {
@@ -1355,7 +1355,7 @@ impl Tape {
                     let w = softmax_slice(self.values[alphas.0].data());
                     if self.req(*x) {
                         let xm = &self.values[x.0];
-                        let mut gx = Matrix::zeros(xm.rows(), xm.cols());
+                        let mut gx = Matrix::zeros_pooled(xm.rows(), xm.cols());
                         for (wi, qp) in w.iter().zip(qps.iter()) {
                             for ((o, &gv), &xv) in
                                 gx.data_mut().iter_mut().zip(g.data()).zip(xm.data())
@@ -1398,10 +1398,28 @@ impl Tape {
                 }
             }
             self.ops[i] = op;
-            // Leaf gradients stay readable after backward.
+            // Leaf gradients stay readable after backward; intermediate
+            // gradients go back to the buffer pool the moment they have
+            // been propagated.
             if matches!(self.ops[i], Op::Leaf) {
                 self.grads[i] = Some(g);
+            } else {
+                g.recycle();
             }
+        }
+    }
+
+    /// Consumes the tape and returns every value and gradient buffer to the
+    /// thread-local buffer pool (see [`crate::pool`]). Training loops call
+    /// this at the end of each epoch so the next epoch's forward pass
+    /// allocates nothing on the hot path; plain `drop` remains correct and
+    /// merely skips the reuse.
+    pub fn recycle(self) {
+        for m in self.values {
+            m.recycle();
+        }
+        for g in self.grads.into_iter().flatten() {
+            g.recycle();
         }
     }
 }
